@@ -1,0 +1,81 @@
+// nvmetro-bench regenerates the paper's evaluation artifacts: every table
+// and figure of Section V, rendered as text tables (and optionally CSV).
+//
+// Usage:
+//
+//	nvmetro-bench -list
+//	nvmetro-bench -run fig3,fig4
+//	nvmetro-bench -run all -quick
+//	nvmetro-bench -run fig6 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nvmetro/internal/harness"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+		list   = flag.Bool("list", false, "list available experiments")
+		quick  = flag.Bool("quick", false, "thin grids and short windows")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list || *runIDs == "" {
+		fmt.Println("Available experiments (paper artifacts):")
+		for _, e := range harness.List() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *runIDs == "" {
+			fmt.Println("\nRun with -run <id>[,<id>...] or -run all")
+		}
+		return
+	}
+
+	var ids []string
+	if *runIDs == "all" {
+		for _, e := range harness.List() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*runIDs, ",")
+	}
+
+	opts := harness.Options{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := harness.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fmt.Printf("--- running %s: %s ---\n", e.ID, e.Title)
+		tables := e.Run(opts)
+		for _, tab := range tables {
+			tab.Fprint(os.Stdout)
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, tab.ID+".csv")
+				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("(csv written to %s)\n", path)
+			}
+		}
+		fmt.Printf("--- %s done in %v (wall clock) ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

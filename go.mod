@@ -1,0 +1,3 @@
+module nvmetro
+
+go 1.24

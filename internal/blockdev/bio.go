@@ -1,0 +1,81 @@
+// Package blockdev models the host kernel's block layer: bios, the
+// NVMe-backed block device (driver submission plus interrupt-context
+// completion), an io_uring-style asynchronous submission ring, and the DMA
+// buffer pool that backs kernel-space data. Device-mapper targets stack on
+// the BlockDevice interface (package dm), and the vhost/QEMU baselines as
+// well as NVMetro's kernel path and UIFs all submit through here.
+package blockdev
+
+import (
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+)
+
+// SectorSize is the kernel sector unit (512 bytes, as in Linux).
+const SectorSize = 512
+
+// BioOp is a block operation type.
+type BioOp uint8
+
+// Bio operations.
+const (
+	BioRead BioOp = iota
+	BioWrite
+	BioFlush
+	BioDiscard
+)
+
+func (o BioOp) String() string {
+	switch o {
+	case BioRead:
+		return "read"
+	case BioWrite:
+		return "write"
+	case BioFlush:
+		return "flush"
+	case BioDiscard:
+		return "discard"
+	}
+	return "?"
+}
+
+// Bio is one block I/O request in host kernel space.
+type Bio struct {
+	Op     BioOp
+	Sector uint64 // first 512-byte sector
+	Data   []byte // host buffer (nil for flush/discard; Sectors for discard length)
+	NSect  uint32 // sector count for data-less ops
+	// OnDone runs in completion (interrupt or worker) context and must not
+	// block on simulation primitives.
+	OnDone func(nvme.Status)
+}
+
+// Sectors returns the bio's length in sectors.
+func (b *Bio) Sectors() uint32 {
+	if b.Data != nil {
+		return uint32(len(b.Data) / SectorSize)
+	}
+	return b.NSect
+}
+
+// BlockDevice is a host-side block device: the stackable unit of the block
+// layer. Submission charges the calling thread; completion is asynchronous.
+type BlockDevice interface {
+	// SubmitBio queues the bio. p/thread identify the submitting kernel
+	// context for CPU accounting.
+	SubmitBio(p *sim.Proc, thread *sim.Thread, b *Bio)
+	// NumSectors is the device size in 512-byte sectors.
+	NumSectors() uint64
+}
+
+// Costs models per-bio block layer CPU costs (submission path through the
+// request queue and NVMe driver; completion handling in IRQ context).
+type Costs struct {
+	Submit   sim.Duration
+	Complete sim.Duration
+}
+
+// DefaultCosts returns the calibrated block layer cost model.
+func DefaultCosts() Costs {
+	return Costs{Submit: 3 * sim.Microsecond, Complete: 2 * sim.Microsecond}
+}

@@ -1,0 +1,204 @@
+package blockdev
+
+import (
+	"fmt"
+
+	"nvmetro/internal/device"
+	"nvmetro/internal/guestmem"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+)
+
+// dmaPool hands out page-aligned DMA buffers in host kernel memory with
+// per-size free lists, so steady-state I/O allocates nothing.
+type dmaPool struct {
+	mem  *guestmem.Memory
+	free map[int][][]uint64 // npages -> list of page sets
+}
+
+func newDMAPool(mem *guestmem.Memory) *dmaPool {
+	return &dmaPool{mem: mem, free: make(map[int][][]uint64)}
+}
+
+func (p *dmaPool) get(npages int) []uint64 {
+	l := p.free[npages]
+	if n := len(l); n > 0 {
+		pages := l[n-1]
+		p.free[npages] = l[:n-1]
+		return pages
+	}
+	base := p.mem.MustAllocPages(npages)
+	pages := make([]uint64, npages)
+	for i := range pages {
+		pages[i] = base + uint64(i)*guestmem.PageSize
+	}
+	return pages
+}
+
+func (p *dmaPool) put(pages []uint64) {
+	p.free[len(pages)] = append(p.free[len(pages)], pages)
+}
+
+// NVMeBlockDev is the host NVMe driver's block device: bios are translated
+// to NVMe commands on a dedicated host queue pair, data is bounced through
+// kernel DMA buffers, and completions are handled in a simulated interrupt
+// context thread.
+type NVMeBlockDev struct {
+	env      *sim.Env
+	dev      *device.Device
+	nsid     uint32
+	part     device.Partition
+	costs    Costs
+	qp       *nvme.QueuePair
+	hostmem  *guestmem.Memory
+	pool     *dmaPool
+	irq      *sim.Thread
+	irqCond  *sim.Cond
+	inflight map[uint16]*pendingBio
+	freeCIDs []uint16
+	waitCID  *sim.Cond
+	shift    uint8
+
+	// Stats
+	Submitted, Completed uint64
+}
+
+type pendingBio struct {
+	bio       *Bio
+	pages     []uint64
+	listPages []uint64
+	base      uint64
+}
+
+// NewNVMeBlockDev creates the host block device over a partition of the
+// physical device. irqCore hosts the interrupt handler context.
+func NewNVMeBlockDev(env *sim.Env, part device.Partition, cpu *sim.CPU, irqCore int, costs Costs) *NVMeBlockDev {
+	hostmem := guestmem.New(512 << 20)
+	d := &NVMeBlockDev{
+		env:      env,
+		dev:      part.Dev,
+		nsid:     part.NSID,
+		part:     part,
+		costs:    costs,
+		hostmem:  hostmem,
+		pool:     newDMAPool(hostmem),
+		irq:      cpu.ThreadOn(irqCore, "kernel/irq"),
+		irqCond:  sim.NewCond(env),
+		inflight: make(map[uint16]*pendingBio),
+		waitCID:  sim.NewCond(env),
+		shift:    part.Dev.Params().LBAShift,
+	}
+	d.qp = part.Dev.CreateQueuePair(1024, hostmem)
+	for i := uint16(0); i < 1023; i++ {
+		d.freeCIDs = append(d.freeCIDs, i)
+	}
+	d.qp.CQ.OnPost = func() { d.irqCond.Signal(nil) }
+	env.Go(fmt.Sprintf("kernel/nvme-irq-ns%d", part.NSID), d.irqLoop)
+	return d
+}
+
+// NumSectors implements BlockDevice.
+func (d *NVMeBlockDev) NumSectors() uint64 {
+	return d.part.Blocks << d.shift / SectorSize
+}
+
+// lba converts a 512-byte sector to a device LBA within the partition.
+func (d *NVMeBlockDev) lba(sector uint64) uint64 {
+	return d.part.Start + sector*SectorSize>>d.shift
+}
+
+// SubmitBio implements BlockDevice.
+func (d *NVMeBlockDev) SubmitBio(p *sim.Proc, thread *sim.Thread, b *Bio) {
+	thread.Exec(p, d.costs.Submit)
+	for len(d.freeCIDs) == 0 || d.qp.SQ.Full() {
+		d.waitCID.Wait()
+	}
+	cid := d.freeCIDs[len(d.freeCIDs)-1]
+	d.freeCIDs = d.freeCIDs[:len(d.freeCIDs)-1]
+
+	pend := &pendingBio{bio: b}
+	var cmd nvme.Command
+	switch b.Op {
+	case BioFlush:
+		cmd = nvme.NewFlush(cid, d.nsid)
+	case BioDiscard:
+		cmd.SetOpcode(nvme.OpDSM)
+		cmd.SetCID(cid)
+		cmd.SetNSID(d.nsid)
+		cmd.SetSLBA(d.lba(b.Sector))
+		cmd.SetNLB(uint16(uint64(b.NSect)*SectorSize>>d.shift - 1))
+	case BioRead, BioWrite:
+		npages := (len(b.Data) + guestmem.PageSize - 1) / guestmem.PageSize
+		pend.pages = d.pool.get(npages)
+		pend.base = pend.pages[0]
+		if b.Op == BioWrite {
+			// Copy data into the DMA buffer (kernel bounce).
+			for i, pg := range pend.pages {
+				off := i * guestmem.PageSize
+				end := off + guestmem.PageSize
+				if end > len(b.Data) {
+					end = len(b.Data)
+				}
+				d.hostmem.WriteAt(b.Data[off:end], pg)
+			}
+		}
+		op := nvme.OpRead
+		if b.Op == BioWrite {
+			op = nvme.OpWrite
+		}
+		blocks := uint32(len(b.Data)) >> d.shift
+		prp1, prp2, err := nvme.BuildPRP(d.hostmem, pend.pages, func() uint64 {
+			pg := d.pool.get(1)
+			pend.listPages = append(pend.listPages, pg[0])
+			return pg[0]
+		})
+		if err != nil {
+			panic(err)
+		}
+		cmd = nvme.NewRW(op, cid, d.nsid, d.lba(b.Sector), blocks, prp1, prp2)
+	}
+	d.inflight[cid] = pend
+	if !d.qp.SQ.Push(&cmd) {
+		panic("blockdev: SQ full after check")
+	}
+	d.Submitted++
+	d.dev.Ring(d.qp.SQ.ID)
+}
+
+func (d *NVMeBlockDev) irqLoop(p *sim.Proc) {
+	var e nvme.Completion
+	for {
+		d.irqCond.Wait()
+		for d.qp.CQ.Pop(&e) {
+			d.irq.Exec(p, d.costs.Complete)
+			cid := e.CID()
+			pend := d.inflight[cid]
+			delete(d.inflight, cid)
+			d.freeCIDs = append(d.freeCIDs, cid)
+			d.waitCID.Signal(nil)
+			if pend == nil {
+				continue
+			}
+			if pend.bio.Op == BioRead && e.Status().OK() {
+				for i, pg := range pend.pages {
+					off := i * guestmem.PageSize
+					end := off + guestmem.PageSize
+					if end > len(pend.bio.Data) {
+						end = len(pend.bio.Data)
+					}
+					d.hostmem.ReadAt(pend.bio.Data[off:end], pg)
+				}
+			}
+			if pend.pages != nil {
+				d.pool.put(pend.pages)
+			}
+			for _, lp := range pend.listPages {
+				d.pool.put([]uint64{lp})
+			}
+			d.Completed++
+			if pend.bio.OnDone != nil {
+				pend.bio.OnDone(e.Status())
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package core implements NVMetro itself: the virtual NVMe controller
+// exposed to each VM (VSQ/VCQ queue shadowing), the I/O router with its
+// routing table and iterative routing engine, eBPF classifier invocation
+// with direct mediation, the three I/O paths (fast, kernel, notify), and
+// the shared, adaptively-parked router worker threads.
+package core
+
+import (
+	"encoding/binary"
+
+	"nvmetro/internal/ebpf"
+)
+
+// Classifier hook points: the stages of a request's lifecycle at which the
+// I/O classifier is invoked. HookVSQ fires when a new request arrives from
+// the guest; the CQ hooks fire when a previously-routed hop completes, if
+// the classifier installed them.
+const (
+	HookVSQ = 0 // new request from the VM
+	HookHCQ = 1 // fast-path (hardware) completion
+	HookNCQ = 2 // notify-path (UIF) completion
+	HookKCQ = 3 // kernel-path completion
+)
+
+// Classifier context layout. The classifier receives a pointer to this
+// window in r1; the command block is writable ("direct mediation"), and two
+// scratch quadwords persist across hook invocations of the same request.
+const (
+	CtxOffHook     = 0  // u32: current hook
+	CtxOffError    = 4  // u32: NVMe status of the completed hop (CQ hooks)
+	CtxOffVMID     = 8  // u32: VM identifier
+	CtxOffQID      = 12 // u32: virtual queue ID
+	CtxOffScratch0 = 16 // u64: request-scoped scratch
+	CtxOffScratch1 = 24 // u64: request-scoped scratch
+	CtxOffCmd      = 32 // 64 bytes: the NVMe command (writable)
+	CtxSize        = 96
+)
+
+// Classifier return value: the low 16 bits carry an NVMe status (used with
+// ActComplete), the high bits are routing action flags.
+const (
+	// Routing targets ("send to queue").
+	ActSendHQ = 1 << 16 // fast path: underlying device queues
+	ActSendNQ = 1 << 17 // notify path: userspace I/O function
+	ActSendKQ = 1 << 18 // kernel path: host block layer
+
+	// Hook installation: invoke the classifier again when the hop completes.
+	ActHookHCQ = 1 << 19
+	ActHookNCQ = 1 << 20
+	ActHookKCQ = 1 << 21
+
+	// Automatic completion: finish the request to the VM when the hop
+	// completes (when several are set, the request completes after all
+	// such hops finish — synchronous multicast, e.g. mirrored writes).
+	ActWillCompleteHQ = 1 << 22
+	ActWillCompleteNQ = 1 << 23
+	ActWillCompleteKQ = 1 << 24
+
+	// Immediate completion with the status in the low 16 bits.
+	ActComplete = 1 << 25
+
+	// Documentary flag from the paper's listings: a hook implies waiting,
+	// so the router accepts and ignores it.
+	ActWaitForHook = 1 << 26
+
+	// ActStatusMask extracts the NVMe status from an action word.
+	ActStatusMask = 0xffff
+)
+
+// DefaultClassifier returns the "dummy" classifier from the paper's basic
+// evaluation: every request goes straight to the fast path and completes
+// when the device finishes.
+func DefaultClassifier() *ebpf.Program {
+	return ebpf.NewBuilder().
+		MovImm64(ebpf.R0, ActSendHQ|ActWillCompleteHQ).
+		Exit().
+		MustProgram("default-fastpath")
+}
+
+// NewVerifier returns the verifier configuration a router uses to admit
+// classifiers.
+func NewVerifier() *ebpf.Verifier {
+	return &ebpf.Verifier{CtxSize: CtxSize}
+}
+
+// ctxBuf is the reusable classification context buffer.
+type ctxBuf [CtxSize]byte
+
+func (c *ctxBuf) set(hook, errStatus, vmID, qid uint32, scratch0, scratch1 uint64, cmd []byte) {
+	binary.LittleEndian.PutUint32(c[CtxOffHook:], hook)
+	binary.LittleEndian.PutUint32(c[CtxOffError:], errStatus)
+	binary.LittleEndian.PutUint32(c[CtxOffVMID:], vmID)
+	binary.LittleEndian.PutUint32(c[CtxOffQID:], qid)
+	binary.LittleEndian.PutUint64(c[CtxOffScratch0:], scratch0)
+	binary.LittleEndian.PutUint64(c[CtxOffScratch1:], scratch1)
+	copy(c[CtxOffCmd:], cmd)
+}
+
+func (c *ctxBuf) scratch() (uint64, uint64) {
+	return binary.LittleEndian.Uint64(c[CtxOffScratch0:]), binary.LittleEndian.Uint64(c[CtxOffScratch1:])
+}

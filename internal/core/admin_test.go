@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"testing"
+
+	"nvmetro/internal/core"
+	"nvmetro/internal/device"
+	"nvmetro/internal/nvme"
+)
+
+// adminRig builds a controller without running workloads.
+func adminRig(t *testing.T) (*rig, *core.Controller) {
+	t.Helper()
+	r := newRig(1)
+	_, vc, _ := r.addVM(0, device.Carve(r.dev, 1, 4)[2])
+	return r, vc
+}
+
+func adminCmd(op uint8, cdw10 uint32, nsid uint32, prp1 uint64) nvme.Command {
+	var c nvme.Command
+	c.SetOpcode(op)
+	c.SetNSID(nsid)
+	c.SetCDW(10, cdw10)
+	c.SetPRP1(prp1)
+	return c
+}
+
+func TestAdminIdentifyController(t *testing.T) {
+	r, vc := adminRig(t)
+	defer r.env.Close()
+	mem := vc.VM().Mem
+	page := mem.MustAllocPages(1)
+	cmd := adminCmd(nvme.AdminIdentify, nvme.CNSController, 0, page)
+	st, _ := vc.HandleAdmin(&cmd, mem)
+	if !st.OK() {
+		t.Fatalf("identify: %v", st)
+	}
+	buf := make([]byte, nvme.IdentifyPageSize)
+	mem.ReadAt(buf, page)
+	info := nvme.ParseControllerInfo(buf)
+	if info.Model != "NVMetro Virtual NVMe Controller" || info.SQES != 6 || info.CQES != 4 {
+		t.Fatalf("controller info %+v", info)
+	}
+}
+
+func TestAdminIdentifyNamespaceReflectsPartition(t *testing.T) {
+	r, vc := adminRig(t)
+	defer r.env.Close()
+	mem := vc.VM().Mem
+	page := mem.MustAllocPages(1)
+	cmd := adminCmd(nvme.AdminIdentify, nvme.CNSNamespace, 1, page)
+	st, _ := vc.HandleAdmin(&cmd, mem)
+	if !st.OK() {
+		t.Fatalf("identify ns: %v", st)
+	}
+	buf := make([]byte, nvme.IdentifyPageSize)
+	mem.ReadAt(buf, page)
+	info := nvme.ParseNamespaceInfo(buf)
+	if info.Size != vc.Partition().Blocks {
+		t.Fatalf("guest sees %d blocks, partition has %d", info.Size, vc.Partition().Blocks)
+	}
+	// Wrong NSID fails cleanly.
+	bad := adminCmd(nvme.AdminIdentify, nvme.CNSNamespace, 9, page)
+	if st, _ := vc.HandleAdmin(&bad, mem); st != nvme.SCInvalidNS {
+		t.Fatalf("bad nsid: %v", st)
+	}
+}
+
+func TestAdminFeatures(t *testing.T) {
+	r, vc := adminRig(t)
+	defer r.env.Close()
+	mem := vc.VM().Mem
+	// Set Features: Number of Queues — grant is clamped.
+	set := adminCmd(nvme.AdminSetFeature, core.FeatNumQueues, 0, 0)
+	set.SetCDW(11, 0xffff_ffff)
+	st, res := vc.HandleAdmin(&set, mem)
+	if !st.OK() || res&0xffff != 63 || res>>16 != 63 {
+		t.Fatalf("set features: %v result %#x", st, res)
+	}
+	get := adminCmd(nvme.AdminGetFeature, core.FeatNumQueues, 0, 0)
+	st, res = vc.HandleAdmin(&get, mem)
+	if !st.OK() || res&0xffff != 63 {
+		t.Fatalf("get features: %v %#x", st, res)
+	}
+	unknown := adminCmd(nvme.AdminGetFeature, 0x7f, 0, 0)
+	if st, _ := vc.HandleAdmin(&unknown, mem); st != nvme.SCInvalidField {
+		t.Fatalf("unknown feature: %v", st)
+	}
+}
+
+func TestAdminMiscCommands(t *testing.T) {
+	r, vc := adminRig(t)
+	defer r.env.Close()
+	mem := vc.VM().Mem
+	page := mem.MustAllocPages(1)
+
+	log := adminCmd(nvme.AdminGetLogPage, 0x3f<<16|0x01, 0, page)
+	if st, _ := vc.HandleAdmin(&log, mem); !st.OK() {
+		t.Fatalf("get log page: %v", st)
+	}
+	abort := adminCmd(nvme.AdminAbort, 0, 0, 0)
+	if st, res := vc.HandleAdmin(&abort, mem); !st.OK() || res&1 != 1 {
+		t.Fatalf("abort: %v %d", st, res)
+	}
+	// Raw queue management is steered to the in-memory API.
+	csq := adminCmd(nvme.AdminCreateSQ, 0, 0, 0)
+	if st, _ := vc.HandleAdmin(&csq, mem); st != nvme.SCInvalidField {
+		t.Fatalf("create sq: %v", st)
+	}
+	var vendor nvme.Command
+	vendor.SetOpcode(0xc0)
+	if st, _ := vc.HandleAdmin(&vendor, mem); st != nvme.SCInvalidOpcode {
+		t.Fatalf("vendor admin: %v", st)
+	}
+}

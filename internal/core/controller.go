@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+
+	"nvmetro/internal/sim"
+
+	"nvmetro/internal/device"
+	"nvmetro/internal/ebpf"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/vm"
+)
+
+// target indexes the three I/O paths.
+type target int
+
+const (
+	targetHQ target = iota
+	targetNQ
+	targetKQ
+	numTargets
+)
+
+func hookFor(t target) uint32 {
+	switch t {
+	case targetHQ:
+		return HookHCQ
+	case targetNQ:
+		return HookNCQ
+	default:
+		return HookKCQ
+	}
+}
+
+// disposition records what happens when a routed hop completes.
+type disposition uint8
+
+const (
+	dispNone     disposition = iota // fire and forget
+	dispHook                        // invoke the classifier again
+	dispComplete                    // counts toward guest completion
+)
+
+// request is one routing-table entry: the state of a guest command as it
+// traverses hops ("iterative routing").
+type request struct {
+	vq     *vqState
+	gcid   uint16
+	cmd    nvme.Command
+	s0, s1 uint64 // classifier scratch, persists across hooks
+
+	pending   int         // outstanding hops of any disposition
+	waiters   int         // outstanding dispComplete hops
+	status    nvme.Status // first error seen on any hop
+	completed bool        // guest completion posted
+}
+
+// hop is one dispatched leg of a request. Dispositions are tracked per hop
+// (not per target): a classifier may legally send to the same target in
+// overlapping rounds, and each leg's completion must consume exactly its
+// own disposition.
+type hop struct {
+	req  *request
+	disp disposition
+}
+
+// vqState is one virtual queue pair and its shadowing host queue pair.
+type vqState struct {
+	vc         *Controller
+	qid        uint16
+	vsq        *nvme.SQ
+	vcq        *nvme.CQ
+	hqp        *nvme.QueuePair
+	irq        func()
+	htags      []hop
+	freeHTags  []uint16
+	pendingVCQ []nvme.Completion
+}
+
+// Controller is the virtual NVMe controller NVMetro exposes to one VM,
+// attached to a partition of a host NVMe device. It implements vm.Port, so
+// any NVMe-speaking guest works unmodified, and carries the per-VM
+// classifier, notify queues and kernel target.
+type Controller struct {
+	router   *Router
+	w        *worker
+	vm       *vm.VM
+	part     device.Partition
+	restrict bool
+
+	prog   *ebpf.Program
+	native NativeClassifier
+	cvm    *ebpf.VM
+	ctx    ctxBuf
+
+	vqs      []*vqState
+	nextQID  uint16
+	nq       *NotifyQueues
+	ntags    map[uint16]hop
+	nextNTag uint16
+	kt       KernelTarget
+
+	retry       []func()
+	outstanding int
+}
+
+// Attach creates a virtual controller for v over part, served by one of the
+// router's workers (round-robin). The controller starts with the default
+// fast-path classifier; Restrict left enabled confines fast-path commands
+// to the partition.
+func (r *Router) Attach(v *vm.VM, part device.Partition) *Controller {
+	w := r.workers[len(r.allControllers())%len(r.workers)]
+	vc := &Controller{
+		router:   r,
+		w:        w,
+		vm:       v,
+		part:     part,
+		restrict: true,
+		prog:     DefaultClassifier(),
+		cvm:      ebpf.NewVM(nil),
+		ntags:    make(map[uint16]hop),
+	}
+	w.vcs = append(w.vcs, vc)
+	return vc
+}
+
+func (r *Router) allControllers() []*Controller {
+	var out []*Controller
+	for _, w := range r.workers {
+		out = append(out, w.vcs...)
+	}
+	return out
+}
+
+// VM returns the attached VM.
+func (vc *Controller) VM() *vm.VM { return vc.vm }
+
+// Partition returns the backing partition.
+func (vc *Controller) Partition() device.Partition { return vc.part }
+
+// SetRestrict toggles router-enforced LBA confinement of fast-path commands
+// to the partition (defense in depth on top of classifier mediation).
+func (vc *Controller) SetRestrict(on bool) { vc.restrict = on }
+
+// LoadClassifier verifies and installs a classifier; it can be swapped at
+// any time without disturbing in-flight requests ("install, migrate and
+// remove storage functions on the fly").
+func (vc *Controller) LoadClassifier(p *ebpf.Program) error {
+	if err := NewVerifier().Verify(p); err != nil {
+		return fmt.Errorf("core: classifier rejected: %w", err)
+	}
+	vc.prog = p
+	return nil
+}
+
+// classifyCost returns the virtual CPU cost of one classification under the
+// currently installed classifier kind.
+func (vc *Controller) classifyCost(c RouterCosts) sim.Duration {
+	if vc.native != nil {
+		return c.ClassifyNat
+	}
+	return c.Classify
+}
+
+// NativeClassifier is a compiled-in classification function with the same
+// contract as an eBPF classifier (writable context in, action word out) but
+// without interpretation or sandboxing. It exists for the ablation study of
+// classifier execution cost; production policies should stay in verified
+// eBPF, which is the paper's isolation argument.
+type NativeClassifier func(ctx []byte) uint64
+
+// SetNativeClassifier installs fn in place of the eBPF program (nil
+// restores the eBPF classifier).
+func (vc *Controller) SetNativeClassifier(fn NativeClassifier) { vc.native = fn }
+
+// SetKernelTarget installs the kernel-path backend.
+func (vc *Controller) SetKernelTarget(kt KernelTarget) { vc.kt = kt }
+
+// --- vm.Port implementation -------------------------------------------
+
+// Namespace implements vm.Port: the guest sees the partition as a
+// whole namespace.
+func (vc *Controller) Namespace() nvme.NamespaceInfo { return vc.part.Info() }
+
+// IdentifyController returns the virtual controller's identify page,
+// implementing the admin Identify command surface.
+func (vc *Controller) IdentifyController() nvme.ControllerInfo {
+	return nvme.ControllerInfo{
+		VID: 0x1b36, Serial: fmt.Sprintf("NVMETRO%08d", vc.vm.ID),
+		Model: "NVMetro Virtual NVMe Controller", Firmware: "1.0",
+		NN: 1, MaxXfer: 5, SQES: 6, CQES: 4,
+	}
+}
+
+// CreateQP implements vm.Port: allocates a VSQ/VCQ pair plus the shadowing
+// host queue pair on the device.
+func (vc *Controller) CreateQP(depth uint32) *nvme.QueuePair {
+	vc.nextQID++
+	vq := &vqState{
+		vc:    vc,
+		qid:   vc.nextQID,
+		vsq:   nvme.NewSQ(vc.nextQID, depth),
+		vcq:   nvme.NewCQ(vc.nextQID, depth),
+		hqp:   vc.part.Dev.CreateQueuePair(depth, vc.vm.Mem),
+		htags: make([]hop, depth),
+	}
+	for i := uint32(0); i < depth; i++ {
+		vq.freeHTags = append(vq.freeHTags, uint16(i))
+	}
+	vc.vqs = append(vc.vqs, vq)
+	return &nvme.QueuePair{SQ: vq.vsq, CQ: vq.vcq}
+}
+
+// Ring implements vm.Port. Mediated doorbells live in shared memory, so a
+// ring is free for the guest; it only serves as a wake-up hint for a worker
+// that parked itself during inactivity.
+func (vc *Controller) Ring(qid uint16) { vc.w.hint() }
+
+// SetIRQ implements vm.Port.
+func (vc *Controller) SetIRQ(qid uint16, fn func()) {
+	for _, vq := range vc.vqs {
+		if vq.qid == qid {
+			vq.irq = fn
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: SetIRQ for unknown qid %d", qid))
+}
+
+// --- classification and routing ----------------------------------------
+
+// classifyAndRoute invokes the classifier for req at the given hook and
+// applies the returned actions. Runs in worker effect context.
+func (w *worker) classifyAndRoute(req *request, hook uint32, errStatus nvme.Status) {
+	vc := req.vq.vc
+	w.r.Classifications++
+	vc.ctx.set(hook, uint32(errStatus), uint32(vc.vm.ID), uint32(req.vq.qid), req.s0, req.s1, req.cmd[:])
+	var ret uint64
+	if vc.native != nil {
+		ret = vc.native(vc.ctx[:])
+	} else {
+		var err error
+		ret, err = vc.cvm.Run(vc.prog, vc.ctx[:])
+		if err != nil {
+			// A faulting classifier fails the request rather than the
+			// host — the isolation property eBPF buys us.
+			w.completeReq(req, nvme.SCInternal)
+			return
+		}
+	}
+	// Direct mediation: copy back the (possibly rewritten) command and
+	// scratch space.
+	copy(req.cmd[:], vc.ctx[CtxOffCmd:])
+	req.s0, req.s1 = vc.ctx.scratch()
+
+	actions := ret
+	if actions&ActComplete != 0 {
+		w.r.Immediate++
+		w.completeReq(req, nvme.Status(actions&ActStatusMask))
+		return
+	}
+
+	dispOf := func(sendBit, hookBit, compBit uint64) (disposition, bool) {
+		if actions&sendBit == 0 {
+			return dispNone, false
+		}
+		switch {
+		case actions&hookBit != 0:
+			return dispHook, true
+		case actions&compBit != 0:
+			return dispComplete, true
+		}
+		return dispNone, true
+	}
+
+	type send struct {
+		fn func(hop)
+		h  hop
+	}
+	var sends []send
+	if d, ok := dispOf(ActSendHQ, ActHookHCQ, ActWillCompleteHQ); ok {
+		sends = append(sends, send{w.dispatchHQ, hop{req, d}})
+	}
+	if d, ok := dispOf(ActSendNQ, ActHookNCQ, ActWillCompleteNQ); ok {
+		sends = append(sends, send{w.dispatchNQ, hop{req, d}})
+	}
+	if d, ok := dispOf(ActSendKQ, ActHookKCQ, ActWillCompleteKQ); ok {
+		sends = append(sends, send{w.dispatchKQ, hop{req, d}})
+	}
+	if len(sends) == 0 {
+		// No action at all: a buggy classifier must not wedge the guest.
+		w.completeReq(req, nvme.SCInternal)
+		return
+	}
+	for _, s := range sends {
+		req.pending++
+		if s.h.disp == dispComplete {
+			req.waiters++
+		}
+	}
+	for _, s := range sends {
+		s.fn(s.h)
+	}
+}
+
+// finishHop handles completion of one routed hop.
+func (w *worker) finishHop(h hop, t target, status nvme.Status) {
+	req := h.req
+	req.pending--
+	if !status.OK() && req.status.OK() {
+		req.status = status
+	}
+	switch h.disp {
+	case dispHook:
+		w.classifyAndRoute(req, hookFor(t), status)
+	case dispComplete:
+		req.waiters--
+		if req.waiters == 0 {
+			st := req.status
+			if st.OK() {
+				st = status
+			}
+			w.completeReq(req, st)
+		}
+	}
+	w.maybeRelease(req)
+}
+
+// completeReq posts the guest completion (once) and releases the entry when
+// no hops remain outstanding.
+func (w *worker) completeReq(req *request, status nvme.Status) {
+	if req.completed {
+		return
+	}
+	req.completed = true
+	var e nvme.Completion
+	e.SetCID(req.gcid)
+	e.SetSQID(req.vq.qid)
+	e.SetSQHD(uint16(req.vq.vsq.Head()))
+	e.SetStatus(status)
+	req.vq.pendingVCQ = append(req.vq.pendingVCQ, e)
+	w.maybeRelease(req)
+}
+
+func (w *worker) maybeRelease(req *request) {
+	if !req.completed && req.pending == 0 {
+		// Every leg has finished but nothing completed the request: the
+		// classifier orphaned it with fire-and-forget-only routing. Fail
+		// it to the guest rather than wedging — a buggy classifier must
+		// cost at most its own VM's request, never the router.
+		w.completeReq(req, nvme.SCInternal)
+		return
+	}
+	if req.completed && req.pending == 0 {
+		req.vq.vc.outstanding--
+		if req.vq.vc.outstanding < 0 {
+			panic("core: outstanding underflow")
+		}
+		// Mark released so double release is caught in tests.
+		req.pending = -1
+	}
+}
+
+// --- per-path dispatch ---------------------------------------------------
+
+// dispatchHQ forwards the request's command to the shadowing host queue.
+func (w *worker) dispatchHQ(h hop) {
+	req := h.req
+	vq := req.vq
+	vc := vq.vc
+	w.r.FastPath++
+	if vc.restrict && req.cmd.IsIO() {
+		lba := req.cmd.SLBA()
+		blocks := uint64(req.cmd.Blocks())
+		if lba < vc.part.Start || lba+blocks > vc.part.Start+vc.part.Blocks {
+			w.finishHop(h, targetHQ, nvme.SCLBAOutOfRange)
+			return
+		}
+	}
+	if len(vq.freeHTags) == 0 || vq.hqp.SQ.Full() {
+		vc.retry = append(vc.retry, func() { w.dispatchHQ(h) })
+		return
+	}
+	htag := vq.freeHTags[len(vq.freeHTags)-1]
+	vq.freeHTags = vq.freeHTags[:len(vq.freeHTags)-1]
+	vq.htags[htag] = h
+	cmd := req.cmd
+	cmd.SetCID(htag)
+	if !vq.hqp.SQ.Push(&cmd) {
+		panic("core: HSQ full after check")
+	}
+	vc.part.Dev.Ring(vq.hqp.SQ.ID)
+}
+
+// dispatchNQ exports the request to the attached UIF via the notify queues.
+func (w *worker) dispatchNQ(h hop) {
+	req := h.req
+	vc := req.vq.vc
+	w.r.NotifyPath++
+	if vc.nq == nil {
+		w.finishHop(h, targetNQ, nvme.SCInternal)
+		return
+	}
+	if vc.nq.nsq.Full() {
+		vc.retry = append(vc.retry, func() { w.dispatchNQ(h) })
+		return
+	}
+	vc.nextNTag++
+	tag := vc.nextNTag
+	vc.ntags[tag] = h
+	cmd := req.cmd
+	cmd.SetCID(tag)
+	if !vc.nq.nsq.Push(&cmd) {
+		panic("core: NSQ full after check")
+	}
+	vc.nq.notify()
+}
+
+// takeNTag claims the hop for a notify completion tag.
+func (vc *Controller) takeNTag(tag uint16) (hop, bool) {
+	h, ok := vc.ntags[tag]
+	delete(vc.ntags, tag)
+	return h, ok
+}
+
+// dispatchKQ sends the request down the host kernel block layer.
+func (w *worker) dispatchKQ(h hop) {
+	vc := h.req.vq.vc
+	w.r.KernelPath++
+	if vc.kt == nil {
+		w.finishHop(h, targetKQ, nvme.SCInternal)
+		return
+	}
+	vc.kt.Submit(h.req.cmd, vc.vm.Mem, func(st nvme.Status) {
+		w.kdone = append(w.kdone, kdoneEntry{h: h, status: st})
+		w.hint()
+	})
+}
+
+// encode helpers used by classifier config maps (documented layout for the
+// standard partition-translation config entry).
+const (
+	// CfgPartStart and CfgPartBlocks are u64 offsets in config map entry 0.
+	CfgPartStart  = 0
+	CfgPartBlocks = 8
+	CfgValueSize  = 16
+)
+
+// NewPartitionConfigMap builds the standard config map for LBA-translating
+// classifiers: entry 0 holds the partition start LBA and size.
+func NewPartitionConfigMap(part device.Partition) *ebpf.ArrayMap {
+	m := ebpf.NewArrayMap(CfgValueSize, 1)
+	m.SetU64(0, CfgPartStart, part.Start)
+	m.SetU64(0, CfgPartBlocks, part.Blocks)
+	return m
+}
+
+var _ vm.Port = (*Controller)(nil)
+
+// DebugState renders the controller's routing-table state for diagnostics
+// (exposed to the control plane and tests).
+func (vc *Controller) DebugState() string {
+	s := fmt.Sprintf("outstanding=%d ntags=%d retry=%d workerAsleep=%v kdone=%d",
+		vc.outstanding, len(vc.ntags), len(vc.retry), vc.w.asleep, len(vc.w.kdone))
+	if vc.nq != nil {
+		s += fmt.Sprintf(" nsq=%d ncq=%d", vc.nq.nsq.Len(), vc.nq.ncq.Len())
+	}
+	for _, vq := range vc.vqs {
+		s += fmt.Sprintf(" [q%d vsq=%d hsq=%d hcq=%d pendVCQ=%d freeHTags=%d]",
+			vq.qid, vq.vsq.Len(), vq.hqp.SQ.Len(), vq.hqp.CQ.Len(), len(vq.pendingVCQ), len(vq.freeHTags))
+	}
+	return s
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+)
+
+// RouterCosts models the per-operation CPU cost of the router data plane.
+// Values reflect a lean kernel module: a few hundred nanoseconds per queue
+// scan and per dispatched request, with the eBPF interpreter dominating the
+// classification step.
+type RouterCosts struct {
+	PollVQ      sim.Duration // scanning one virtual queue set per iteration
+	Classify    sim.Duration // one classifier invocation
+	ClassifyNat sim.Duration // one native (compiled) classifier invocation
+	DispatchHQ  sim.Duration // forward to hardware queue + doorbell
+	DispatchNQ  sim.Duration // forward to notify queue + UIF wake
+	DispatchKQ  sim.Duration // translate and submit to the block layer
+	CompleteVCQ sim.Duration // post one VCQ entry
+	IRQInject   sim.Duration // virtual interrupt injection per batch
+}
+
+// DefaultRouterCosts returns the calibrated cost model.
+func DefaultRouterCosts() RouterCosts {
+	return RouterCosts{
+		PollVQ:      250 * sim.Nanosecond,
+		Classify:    300 * sim.Nanosecond,
+		ClassifyNat: 80 * sim.Nanosecond,
+		DispatchHQ:  250 * sim.Nanosecond,
+		DispatchNQ:  350 * sim.Nanosecond,
+		DispatchKQ:  600 * sim.Nanosecond,
+		CompleteVCQ: 250 * sim.Nanosecond,
+		IRQInject:   1200 * sim.Nanosecond,
+	}
+}
+
+// KernelTarget is the kernel I/O path: anything that can service a
+// translated NVMe command through the host block layer (package blockdev
+// provides the implementation over bios and device-mapper tables).
+type KernelTarget interface {
+	// Submit services cmd against guest memory mem and calls done with the
+	// final status. done runs in an arbitrary simulation context and must
+	// not block.
+	Submit(cmd nvme.Command, mem nvme.Memory, done func(nvme.Status))
+}
+
+// Router is the NVMetro I/O router: a set of worker threads, shared
+// round-robin between the attached VMs' virtual controllers, that poll
+// virtual submission queues and the completion queues of every I/O path.
+type Router struct {
+	env     *sim.Env
+	costs   RouterCosts
+	workers []*worker
+
+	// Stats
+	Classifications uint64
+	FastPath        uint64
+	NotifyPath      uint64
+	KernelPath      uint64
+	Immediate       uint64
+}
+
+// NewRouter creates a router with one worker per given host thread.
+// The paper's main evaluations use one worker per VM; the scalability
+// evaluation shares a single worker across all VMs.
+func NewRouter(env *sim.Env, costs RouterCosts, threads []*sim.Thread) *Router {
+	r := &Router{env: env, costs: costs}
+	for i, th := range threads {
+		w := &worker{r: r, id: i, thread: th, wake: sim.NewCond(env)}
+		r.workers = append(r.workers, w)
+		env.Go(fmt.Sprintf("router-w%d", i), w.run)
+	}
+	return r
+}
+
+// Workers returns the number of worker threads.
+func (r *Router) Workers() int { return len(r.workers) }
+
+// worker is one router polling thread.
+type worker struct {
+	r      *Router
+	id     int
+	thread *sim.Thread
+	wake   *sim.Cond
+	vcs    []*Controller
+	kdone  []kdoneEntry
+	asleep bool
+}
+
+type kdoneEntry struct {
+	h      hop
+	status nvme.Status
+}
+
+// hint wakes the worker if it parked itself due to inactivity.
+func (w *worker) hint() {
+	if w.asleep {
+		w.asleep = false
+		w.wake.Signal(nil)
+	}
+}
+
+// run is the worker main loop: a two-phase poll (gather work, charge CPU,
+// apply effects) with adaptive parking when every attached VM is idle.
+func (w *worker) run(p *sim.Proc) {
+	c := w.r.costs
+	for {
+		var work sim.Duration
+		outstanding := 0
+
+		// Phase 1: gather. Data-structure work happens instantly; the CPU
+		// time it represents is charged in phase 2 before effects land.
+		type effect func()
+		var effects []effect
+
+		kd := w.kdone
+		w.kdone = nil
+		for _, e := range kd {
+			e := e
+			work += c.PollVQ
+			effects = append(effects, func() { w.finishHop(e.h, targetKQ, e.status) })
+		}
+
+		for _, vc := range w.vcs {
+			work += c.PollVQ
+			outstanding += vc.outstanding
+			// Notify-path completions (one NCQ per controller).
+			if vc.nq != nil {
+				var e nvme.Completion
+				for vc.nq.ncq.Pop(&e) {
+					h, ok := vc.takeNTag(e.CID())
+					if !ok {
+						continue
+					}
+					st := e.Status()
+					effects = append(effects, func() { w.finishHop(h, targetNQ, st) })
+				}
+			}
+			for _, vq := range vc.vqs {
+				// New guest submissions.
+				var cmd nvme.Command
+				for vq.vsq.Pop(&cmd) {
+					vc.outstanding++
+					outstanding++
+					req := &request{vq: vq, gcid: cmd.CID(), cmd: cmd}
+					work += vc.classifyCost(c)
+					effects = append(effects, func() { w.classifyAndRoute(req, HookVSQ, 0) })
+				}
+				// Fast-path completions.
+				var e nvme.Completion
+				for vq.hqp.CQ.Pop(&e) {
+					h := vq.htags[e.CID()]
+					if h.req == nil {
+						continue
+					}
+					vq.htags[e.CID()] = hop{}
+					vq.freeHTags = append(vq.freeHTags, e.CID())
+					st := e.Status()
+					effects = append(effects, func() { w.finishHop(h, targetHQ, st) })
+				}
+			}
+		}
+
+		if len(effects) == 0 {
+			if outstanding == 0 {
+				// Nothing in flight anywhere: park until a doorbell hint,
+				// kernel completion or UIF notification arrives. This is
+				// the "stop polling during inactivity" behaviour.
+				w.asleep = true
+				w.wake.Wait()
+				continue
+			}
+			// Busy-poll while requests are in flight.
+			w.thread.Exec(p, work)
+			continue
+		}
+
+		// Phase 2: charge the CPU for this batch.
+		w.thread.Exec(p, work)
+
+		// Phase 3: apply routing effects and post completions.
+		for _, fn := range effects {
+			fn()
+		}
+		w.flushCompletions(p)
+		w.flushRetries(p)
+	}
+}
+
+// flushCompletions posts queued VCQ entries and injects interrupts.
+func (w *worker) flushCompletions(p *sim.Proc) {
+	c := w.r.costs
+	for _, vc := range w.vcs {
+		for _, vq := range vc.vqs {
+			if len(vq.pendingVCQ) == 0 {
+				continue
+			}
+			var cost sim.Duration
+			n := 0
+			for _, pc := range vq.pendingVCQ {
+				if !vq.vcq.Push(&pc) {
+					break
+				}
+				n++
+				cost += c.CompleteVCQ
+			}
+			vq.pendingVCQ = vq.pendingVCQ[n:]
+			if n > 0 {
+				cost += c.IRQInject
+				w.thread.Exec(p, cost)
+				if vq.irq != nil {
+					vq.irq()
+				}
+			}
+		}
+	}
+}
+
+// flushRetries re-attempts dispatches that found a full HSQ/NSQ earlier.
+func (w *worker) flushRetries(p *sim.Proc) {
+	for _, vc := range w.vcs {
+		if len(vc.retry) == 0 {
+			continue
+		}
+		pending := vc.retry
+		vc.retry = nil
+		for _, fn := range pending {
+			fn()
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package device
+
+import "nvmetro/internal/nvme"
+
+// Partition is a fixed LBA window of a namespace, the unit a virtual
+// controller is attached to ("virtual controllers can be attached to an
+// entire NVMe namespace on the drive, or a fixed partition of that
+// namespace"). LBA translation from partition-relative to device addresses
+// is done by the I/O classifier (NVMetro) or the mediation layer (MDev).
+type Partition struct {
+	Dev    *Device
+	NSID   uint32
+	Start  uint64 // first device LBA
+	Blocks uint64 // size in blocks
+}
+
+// WholeNamespace returns a partition covering all of namespace nsid.
+func WholeNamespace(d *Device, nsid uint32) Partition {
+	ns := d.Namespace(nsid)
+	return Partition{Dev: d, NSID: nsid, Start: 0, Blocks: ns.Info.Size}
+}
+
+// Carve splits namespace nsid of the device into n equal partitions.
+func Carve(d *Device, nsid uint32, n int) []Partition {
+	ns := d.Namespace(nsid)
+	per := ns.Info.Size / uint64(n)
+	parts := make([]Partition, n)
+	for i := range parts {
+		parts[i] = Partition{Dev: d, NSID: nsid, Start: uint64(i) * per, Blocks: per}
+	}
+	return parts
+}
+
+// BlockSize returns the partition's logical block size.
+func (p Partition) BlockSize() uint32 { return p.Dev.Params().BlockSize() }
+
+// Bytes returns the partition size in bytes.
+func (p Partition) Bytes() uint64 { return p.Blocks << p.Dev.Params().LBAShift }
+
+// Info returns the namespace info a guest should see for this partition.
+func (p Partition) Info() nvme.NamespaceInfo {
+	return nvme.NamespaceInfo{Size: p.Blocks, Capacity: p.Blocks, LBAShift: p.Dev.Params().LBAShift}
+}
+
+// Translate converts a partition-relative LBA range to device LBAs,
+// reporting false when the range exceeds the partition.
+func (p Partition) Translate(lba uint64, blocks uint32) (uint64, bool) {
+	if lba+uint64(blocks) > p.Blocks {
+		return 0, false
+	}
+	return p.Start + lba, true
+}

@@ -1,0 +1,313 @@
+package dm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/device"
+	"nvmetro/internal/dm"
+	"nvmetro/internal/guestmem"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/nvmeof"
+	"nvmetro/internal/sim"
+	"nvmetro/internal/xts"
+)
+
+func newGuestMem() *guestmem.Memory { return guestmem.New(16 << 20) }
+
+type bench struct {
+	env   *sim.Env
+	cpu   *sim.CPU
+	dev   *device.Device
+	store *device.MemStore
+	bdev  *blockdev.NVMeBlockDev
+	th    *sim.Thread
+}
+
+func newBench() *bench {
+	env := sim.New(1)
+	cpu := sim.NewCPU(env, 8)
+	store := device.NewMemStore(512)
+	p := device.Default970EvoPlus()
+	p.JitterPct, p.TailProb = 0, 0
+	dev := device.New(env, p, store)
+	return &bench{
+		env: env, cpu: cpu, dev: dev, store: store,
+		bdev: blockdev.NewNVMeBlockDev(env, device.WholeNamespace(dev, 1), cpu, 7, blockdev.DefaultCosts()),
+		th:   cpu.ThreadOn(0, "test"),
+	}
+}
+
+func (b *bench) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	ok := false
+	b.env.Go("test", func(p *sim.Proc) { fn(p); ok = true; b.env.Stop() })
+	b.env.RunUntil(sim.Time(60 * sim.Second))
+	if !ok {
+		t.Fatal("test did not finish")
+	}
+}
+
+// bioWait submits a bio and waits for completion.
+func bioWait(p *sim.Proc, th *sim.Thread, d blockdev.BlockDevice, b *blockdev.Bio) nvme.Status {
+	cond := sim.NewCond(p.Env())
+	var status nvme.Status
+	done := false
+	b.OnDone = func(st nvme.Status) { status = st; done = true; cond.Signal(nil) }
+	d.SubmitBio(p, th, b)
+	for !done {
+		cond.Wait()
+	}
+	return status
+}
+
+func TestNVMeBlockDevRoundTrip(t *testing.T) {
+	b := newBench()
+	b.run(t, func(p *sim.Proc) {
+		src := bytes.Repeat([]byte{0xcd}, 8192)
+		if st := bioWait(p, b.th, b.bdev, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 100, Data: append([]byte{}, src...)}); !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		got := make([]byte, 8192)
+		if st := bioWait(p, b.th, b.bdev, &blockdev.Bio{Op: blockdev.BioRead, Sector: 100, Data: got}); !st.OK() {
+			t.Fatalf("read: %v", st)
+		}
+		if !bytes.Equal(src, got) {
+			t.Fatal("round trip mismatch")
+		}
+		if st := bioWait(p, b.th, b.bdev, &blockdev.Bio{Op: blockdev.BioFlush}); !st.OK() {
+			t.Fatalf("flush: %v", st)
+		}
+	})
+}
+
+func TestLinearOffset(t *testing.T) {
+	b := newBench()
+	lin := &dm.Linear{Lower: b.bdev, Offset: 1000, Sectors: 5000}
+	b.run(t, func(p *sim.Proc) {
+		data := bytes.Repeat([]byte{0x11}, 512)
+		if st := bioWait(p, b.th, lin, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 7, Data: data}); !st.OK() {
+			t.Fatal(st)
+		}
+		got := make([]byte, 512)
+		b.store.ReadBlocks(1007, got)
+		if !bytes.Equal(data, got) {
+			t.Fatal("linear did not remap")
+		}
+		if st := bioWait(p, b.th, lin, &blockdev.Bio{Op: blockdev.BioRead, Sector: 4999, Data: make([]byte, 1024)}); st != nvme.SCLBAOutOfRange {
+			t.Fatalf("oob: %v", st)
+		}
+	})
+}
+
+func TestTableComposition(t *testing.T) {
+	b := newBench()
+	tab := &dm.Table{}
+	tab.Append(1000, &dm.Linear{Lower: b.bdev, Offset: 0, Sectors: 1000})
+	tab.Append(1000, &dm.Linear{Lower: b.bdev, Offset: 50000, Sectors: 1000})
+	if tab.NumSectors() != 2000 {
+		t.Fatal("table size")
+	}
+	b.run(t, func(p *sim.Proc) {
+		data := bytes.Repeat([]byte{0x77}, 512)
+		// Sector 1500 lands in the second range at lower offset 50500.
+		if st := bioWait(p, b.th, tab, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 1500, Data: data}); !st.OK() {
+			t.Fatal(st)
+		}
+		got := make([]byte, 512)
+		b.store.ReadBlocks(50500, got)
+		if !bytes.Equal(data, got) {
+			t.Fatal("table did not route to second target")
+		}
+		// A bio spanning the boundary is rejected.
+		if st := bioWait(p, b.th, tab, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 999, Data: make([]byte, 1024)}); st != nvme.SCLBAOutOfRange {
+			t.Fatalf("boundary: %v", st)
+		}
+	})
+}
+
+func TestCryptTargetEncryptsOnDisk(t *testing.T) {
+	b := newBench()
+	key := bytes.Repeat([]byte{9}, 64)
+	crypt, err := dm.NewCrypt(b.env, b.bdev, key, dm.DefaultCryptParams(), b.cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := bytes.Repeat([]byte{0x42, 0x43}, 1024) // 4 sectors
+	b.run(t, func(p *sim.Proc) {
+		if st := bioWait(p, b.th, crypt, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 10, Data: append([]byte{}, plain...)}); !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		// On-disk bytes are ciphertext...
+		raw := make([]byte, len(plain))
+		b.store.ReadBlocks(10, raw)
+		if bytes.Equal(raw, plain) {
+			t.Fatal("plaintext leaked to disk")
+		}
+		// ...that match an independent XTS computation (dm-crypt format).
+		want := make([]byte, len(plain))
+		xts.Must(key).EncryptBlocks(want, plain, 10, 512)
+		if !bytes.Equal(raw, want) {
+			t.Fatal("ciphertext not dm-crypt compatible")
+		}
+		// Reads decrypt transparently.
+		got := make([]byte, len(plain))
+		if st := bioWait(p, b.th, crypt, &blockdev.Bio{Op: blockdev.BioRead, Sector: 10, Data: got}); !st.OK() {
+			t.Fatalf("read: %v", st)
+		}
+		if !bytes.Equal(got, plain) {
+			t.Fatal("decrypt mismatch")
+		}
+	})
+	if crypt.Encrypted == 0 || crypt.Decrypted == 0 {
+		t.Fatal("kcryptd did no work")
+	}
+}
+
+func TestCryptPreservesCallerBuffer(t *testing.T) {
+	b := newBench()
+	crypt, _ := dm.NewCrypt(b.env, b.bdev, make([]byte, 32), dm.DefaultCryptParams(), b.cpu)
+	b.run(t, func(p *sim.Proc) {
+		data := bytes.Repeat([]byte{5}, 512)
+		orig := append([]byte{}, data...)
+		bioWait(p, b.th, crypt, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 0, Data: data})
+		if !bytes.Equal(data, orig) {
+			t.Fatal("dm-crypt clobbered the write buffer")
+		}
+	})
+}
+
+func TestMirrorWritesBothReadsPrimary(t *testing.T) {
+	b := newBench()
+	// Secondary: a remote device over NVMe-oF.
+	remoteCPU := sim.NewCPU(b.env, 4)
+	rp := device.Default970EvoPlus()
+	rp.JitterPct, rp.TailProb = 0, 0
+	rstore := device.NewMemStore(512)
+	rdev := device.New(b.env, rp, rstore)
+	rbdev := blockdev.NewNVMeBlockDev(b.env, device.WholeNamespace(rdev, 1), remoteCPU, 3, blockdev.DefaultCosts())
+	link := nvmeof.DefaultLink(b.env)
+	tgt := nvmeof.NewTarget(b.env, rbdev, remoteCPU)
+	init := nvmeof.NewInitiator(b.env, link, tgt)
+
+	mir := &dm.Mirror{Primary: b.bdev, Secondary: init}
+	data := bytes.Repeat([]byte{0xee}, 1024)
+	b.run(t, func(p *sim.Proc) {
+		if st := bioWait(p, b.th, mir, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 20, Data: data}); !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		// Both stores hold the data.
+		got := make([]byte, 1024)
+		b.store.ReadBlocks(20, got)
+		if !bytes.Equal(got, data) {
+			t.Fatal("primary missing data")
+		}
+		rstore.ReadBlocks(20, got)
+		if !bytes.Equal(got, data) {
+			t.Fatal("secondary missing data (not replicated)")
+		}
+		// Reads come from the primary only.
+		before := tgt.Served
+		if st := bioWait(p, b.th, mir, &blockdev.Bio{Op: blockdev.BioRead, Sector: 20, Data: got}); !st.OK() {
+			t.Fatal(st)
+		}
+		if tgt.Served != before {
+			t.Fatal("read went to the remote leg")
+		}
+	})
+}
+
+func TestMirrorWriteWaitsForSlowerLeg(t *testing.T) {
+	b := newBench()
+	remoteCPU := sim.NewCPU(b.env, 2)
+	rp := device.Default970EvoPlus()
+	rp.JitterPct, rp.TailProb = 0, 0
+	rdev := device.New(b.env, rp, device.NullStore{})
+	rbdev := blockdev.NewNVMeBlockDev(b.env, device.WholeNamespace(rdev, 1), remoteCPU, 1, blockdev.DefaultCosts())
+	link := nvmeof.NewLink(b.env, 300*sim.Microsecond, 6e9) // slow WAN-ish link
+	tgt := nvmeof.NewTarget(b.env, rbdev, remoteCPU)
+	mir := &dm.Mirror{Primary: b.bdev, Secondary: nvmeof.NewInitiator(b.env, link, tgt)}
+	b.run(t, func(p *sim.Proc) {
+		start := p.Now()
+		if st := bioWait(p, b.th, mir, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 0, Data: make([]byte, 512)}); !st.OK() {
+			t.Fatal(st)
+		}
+		if p.Now().Sub(start) < 600*sim.Microsecond {
+			t.Fatalf("mirror write completed in %v, before the slow remote leg", p.Now().Sub(start))
+		}
+	})
+}
+
+func TestURingSubmitReap(t *testing.T) {
+	b := newBench()
+	ring := blockdev.NewURing(b.env, b.bdev, blockdev.DefaultURingCosts())
+	b.run(t, func(p *sim.Proc) {
+		data := bytes.Repeat([]byte{1}, 512)
+		for i := uint64(0); i < 8; i++ {
+			ring.Submit(p, b.th, blockdev.BioWrite, i, data, i)
+		}
+		var seen []uint64
+		for len(seen) < 8 {
+			for _, cqe := range ring.Reap(p, b.th, 0) {
+				if !cqe.Status.OK() {
+					t.Fatalf("cqe status %v", cqe.Status)
+				}
+				seen = append(seen, cqe.UserData)
+			}
+			p.Sleep(5 * sim.Microsecond)
+		}
+		if ring.Submitted != 8 || ring.Reaped != 8 {
+			t.Fatalf("stats %d/%d", ring.Submitted, ring.Reaped)
+		}
+	})
+}
+
+func TestKernelAdapterTranslation(t *testing.T) {
+	b := newBench()
+	gm := newGuestMem()
+	ka := blockdev.NewKernelAdapter(b.env, b.bdev, 9, []*sim.Thread{b.cpu.ThreadOn(6, "kernel/kq")})
+	b.run(t, func(p *sim.Proc) {
+		// Build a write command against guest memory.
+		base := gm.MustAllocPages(1)
+		data := bytes.Repeat([]byte{0xf0}, 512)
+		gm.WriteAt(data, base)
+		cmd := nvme.NewRW(nvme.OpWrite, 1, 1, 40, 1, base, 0)
+		st := submitKA(p, ka, cmd, gm)
+		if !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		got := make([]byte, 512)
+		b.store.ReadBlocks(40, got)
+		if !bytes.Equal(got, data) {
+			t.Fatal("kernel path write lost data")
+		}
+		// Read back through the kernel path.
+		base2 := gm.MustAllocPages(1)
+		cmd2 := nvme.NewRW(nvme.OpRead, 2, 1, 40, 1, base2, 0)
+		if st := submitKA(p, ka, cmd2, gm); !st.OK() {
+			t.Fatalf("read: %v", st)
+		}
+		gm.ReadAt(got, base2)
+		if !bytes.Equal(got, data) {
+			t.Fatal("kernel path read mismatch")
+		}
+		// Unsupported opcodes are rejected (vendor commands need fast path).
+		var vc nvme.Command
+		vc.SetOpcode(0xc1)
+		if st := submitKA(p, ka, vc, gm); st != nvme.SCInvalidOpcode {
+			t.Fatalf("vendor via kernel path: %v", st)
+		}
+	})
+}
+
+func submitKA(p *sim.Proc, ka *blockdev.KernelAdapter, cmd nvme.Command, mem nvme.Memory) nvme.Status {
+	cond := sim.NewCond(p.Env())
+	var status nvme.Status
+	done := false
+	ka.Submit(cmd, mem, func(st nvme.Status) { status = st; done = true; cond.Signal(nil) })
+	for !done {
+		cond.Wait()
+	}
+	return status
+}

@@ -1,0 +1,59 @@
+package dm
+
+import (
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+)
+
+// Mirror is the dm-mirror (RAID1) target: writes go synchronously to both
+// legs and complete when both finish; reads are served by the primary leg.
+// The paper's replication baseline stacks this over a local NVMe block
+// device and a remote NVMe-oF-attached device.
+type Mirror struct {
+	Primary   blockdev.BlockDevice
+	Secondary blockdev.BlockDevice
+
+	// Stats
+	Reads, Writes uint64
+}
+
+// NumSectors implements BlockDevice (the smaller leg bounds the mirror).
+func (m *Mirror) NumSectors() uint64 {
+	a, b := m.Primary.NumSectors(), m.Secondary.NumSectors()
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SubmitBio implements BlockDevice.
+func (m *Mirror) SubmitBio(p *sim.Proc, th *sim.Thread, b *Bio) {
+	switch b.Op {
+	case blockdev.BioRead:
+		m.Reads++
+		m.Primary.SubmitBio(p, th, b)
+	case blockdev.BioWrite, blockdev.BioFlush, blockdev.BioDiscard:
+		if b.Op == blockdev.BioWrite {
+			m.Writes++
+		}
+		remaining := 2
+		var firstErr nvme.Status = nvme.SCSuccess
+		orig := b.OnDone
+		join := func(st nvme.Status) {
+			if !st.OK() && firstErr.OK() {
+				firstErr = st
+			}
+			remaining--
+			if remaining == 0 {
+				orig(firstErr)
+			}
+		}
+		b1 := *b
+		b1.OnDone = join
+		b2 := *b
+		b2.OnDone = join
+		m.Primary.SubmitBio(p, th, &b1)
+		m.Secondary.SubmitBio(p, th, &b2)
+	}
+}

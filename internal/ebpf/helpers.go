@@ -1,0 +1,140 @@
+package ebpf
+
+import (
+	"fmt"
+)
+
+// Helper IDs (matching the kernel's numbering where applicable).
+const (
+	HelperMapLookup  = 1
+	HelperMapUpdate  = 2
+	HelperMapDelete  = 3
+	HelperGetPrandom = 7
+)
+
+// Helper argument types, used by the verifier to type-check calls.
+type ArgType uint8
+
+// Argument kinds.
+const (
+	ArgNone ArgType = iota
+	ArgMapPtr
+	ArgPtrToMapKey   // stack pointer to an initialized map key
+	ArgPtrToMapValue // stack pointer to an initialized map value
+	ArgScalar
+)
+
+// RetType describes a helper's return value for the verifier.
+type RetType uint8
+
+// Return kinds.
+const (
+	RetScalar RetType = iota
+	RetMapValueOrNull
+)
+
+// helperImpl couples a runtime implementation with its verifier signature.
+type helperImpl struct {
+	name string
+	args []ArgType
+	ret  RetType
+	fn   func(vm *VM, r []val) (val, error)
+}
+
+// HelperRegistry maps helper IDs to implementations. The paper notes that
+// extending the kernel helper set requires recompiling the verifier; here
+// the registry makes the analogous extension point explicit.
+type HelperRegistry struct {
+	impls map[int32]*helperImpl
+}
+
+func (hr *HelperRegistry) get(id int32) *helperImpl { return hr.impls[id] }
+
+// signature returns the verifier view of helper id.
+func (hr *HelperRegistry) signature(id int32) (args []ArgType, ret RetType, name string, ok bool) {
+	h := hr.impls[id]
+	if h == nil {
+		return nil, 0, "", false
+	}
+	return h.args, h.ret, h.name, true
+}
+
+// Register installs a custom helper.
+func (hr *HelperRegistry) Register(id int32, name string, args []ArgType, ret RetType, fn func(vm *VM, r []val) (val, error)) {
+	if hr.impls == nil {
+		hr.impls = make(map[int32]*helperImpl)
+	}
+	hr.impls[id] = &helperImpl{name: name, args: args, ret: ret, fn: fn}
+}
+
+func stackBytes(v val, n int) ([]byte, error) {
+	if v.kind != kPtr {
+		return nil, fmt.Errorf("%w: helper expects pointer argument", ErrFault)
+	}
+	start := int64(v.n)
+	if start < 0 || start+int64(n) > int64(len(v.mem.data)) {
+		return nil, fmt.Errorf("%w: helper argument out of bounds", ErrFault)
+	}
+	return v.mem.data[start : start+int64(n)], nil
+}
+
+// DefaultHelpers returns the standard helper set.
+func DefaultHelpers() *HelperRegistry {
+	hr := &HelperRegistry{}
+	hr.Register(HelperMapLookup, "map_lookup_elem",
+		[]ArgType{ArgMapPtr, ArgPtrToMapKey}, RetMapValueOrNull,
+		func(vm *VM, r []val) (val, error) {
+			m := r[R1].m
+			key, err := stackBytes(r[R2], m.KeySize())
+			if err != nil {
+				return val{}, err
+			}
+			v := m.Lookup(key)
+			if v == nil {
+				return scalar(0), nil
+			}
+			return val{kind: kPtr, mem: &memRegion{data: v, writable: true}}, nil
+		})
+	hr.Register(HelperMapUpdate, "map_update_elem",
+		[]ArgType{ArgMapPtr, ArgPtrToMapKey, ArgPtrToMapValue, ArgScalar}, RetScalar,
+		func(vm *VM, r []val) (val, error) {
+			m := r[R1].m
+			key, err := stackBytes(r[R2], m.KeySize())
+			if err != nil {
+				return val{}, err
+			}
+			value, err := stackBytes(r[R3], m.ValueSize())
+			if err != nil {
+				return val{}, err
+			}
+			if err := m.Update(key, value); err != nil {
+				return scalar(^uint64(0)), nil // -1
+			}
+			return scalar(0), nil
+		})
+	hr.Register(HelperMapDelete, "map_delete_elem",
+		[]ArgType{ArgMapPtr, ArgPtrToMapKey}, RetScalar,
+		func(vm *VM, r []val) (val, error) {
+			m := r[R1].m
+			key, err := stackBytes(r[R2], m.KeySize())
+			if err != nil {
+				return val{}, err
+			}
+			if !m.Delete(key) {
+				return scalar(^uint64(0)), nil
+			}
+			return scalar(0), nil
+		})
+	hr.Register(HelperGetPrandom, "get_prandom_u32",
+		nil, RetScalar,
+		func(vm *VM, r []val) (val, error) {
+			// xorshift seeded from invocation count: deterministic across
+			// simulation runs, unlike the kernel's true PRNG.
+			x := vm.Invocations*2654435761 + 12345
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return scalar(uint64(uint32(x))), nil
+		})
+	return hr
+}

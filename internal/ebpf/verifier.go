@@ -1,0 +1,458 @@
+package ebpf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrVerify wraps all verifier rejections.
+var ErrVerify = errors.New("ebpf: verification failed")
+
+// verifyBudget bounds the total instructions simulated across all explored
+// paths, the analogue of the kernel's complexity limit.
+const verifyBudget = 1 << 20
+
+// rt is the abstract type of a register during verification.
+type rt uint8
+
+const (
+	rtUninit rt = iota
+	rtScalar
+	rtCtx
+	rtStack
+	rtMapValue
+	rtMapValueOrNull
+	rtMapPtr
+)
+
+func (t rt) String() string {
+	switch t {
+	case rtUninit:
+		return "uninit"
+	case rtScalar:
+		return "scalar"
+	case rtCtx:
+		return "ctx"
+	case rtStack:
+		return "stack"
+	case rtMapValue:
+		return "map_value"
+	case rtMapValueOrNull:
+		return "map_value_or_null"
+	case rtMapPtr:
+		return "map_ptr"
+	}
+	return "?"
+}
+
+// vreg is the verifier's model of one register.
+type vreg struct {
+	t     rt
+	off   int64 // constant offset for pointer types
+	known bool  // constant tracking for scalars
+	val   uint64
+	m     Map // for map-derived types
+}
+
+func (r vreg) pointer() bool {
+	return r.t == rtCtx || r.t == rtStack || r.t == rtMapValue
+}
+
+// vstate is the abstract machine state along one path.
+type vstate struct {
+	regs      [NumRegs]vreg
+	stackInit [StackSize]bool
+}
+
+func (s *vstate) clone() *vstate {
+	c := *s
+	return &c
+}
+
+// Verifier statically checks programs before they may be attached to a
+// router. ctxSize is the size of the context window passed in r1.
+type Verifier struct {
+	CtxSize int
+	Helpers *HelperRegistry
+}
+
+// Verify checks the program, returning nil if it is safe to run.
+func (v *Verifier) Verify(p *Program) error {
+	if v.Helpers == nil {
+		v.Helpers = DefaultHelpers()
+	}
+	n := len(p.Insns)
+	if n == 0 {
+		return fmt.Errorf("%w: empty program", ErrVerify)
+	}
+	if n > MaxInsns {
+		return fmt.Errorf("%w: program too long (%d > %d)", ErrVerify, n, MaxInsns)
+	}
+	// Mark ld_imm64 continuation slots; jumping into them is invalid.
+	isCont := make([]bool, n)
+	for pc := 0; pc < n; pc++ {
+		if p.Insns[pc].Op == OpLdImm64 {
+			if pc+1 >= n {
+				return fmt.Errorf("%w: truncated ld_imm64 at %d", ErrVerify, pc)
+			}
+			if p.Insns[pc+1].Op != 0 {
+				return fmt.Errorf("%w: ld_imm64 at %d not followed by zero slot", ErrVerify, pc)
+			}
+			isCont[pc+1] = true
+			pc++
+		}
+	}
+
+	init := &vstate{}
+	init.regs[R1] = vreg{t: rtCtx}
+	init.regs[R10] = vreg{t: rtStack, off: StackSize}
+
+	type frame struct {
+		pc int
+		st *vstate
+	}
+	work := []frame{{0, init}}
+	budget := verifyBudget
+
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, st := f.pc, f.st
+		for {
+			if budget--; budget < 0 {
+				return fmt.Errorf("%w: program too complex", ErrVerify)
+			}
+			if pc < 0 || pc >= n {
+				return fmt.Errorf("%w: control flow falls off the program at %d", ErrVerify, pc)
+			}
+			if isCont[pc] {
+				return fmt.Errorf("%w: jump into the middle of ld_imm64 at %d", ErrVerify, pc)
+			}
+			in := p.Insns[pc]
+			switch in.Class() {
+			case ClassALU64, ClassALU:
+				if err := v.checkALU(st, in, pc); err != nil {
+					return err
+				}
+				pc++
+			case ClassLD:
+				if in.Op != OpLdImm64 {
+					return fmt.Errorf("%w: unsupported LD opcode %#x at %d", ErrVerify, in.Op, pc)
+				}
+				if err := checkWritable(in.Dst, pc); err != nil {
+					return err
+				}
+				if in.Src == PseudoMapFD {
+					idx := int(in.Imm)
+					if idx < 0 || idx >= len(p.Maps) {
+						return fmt.Errorf("%w: map index %d out of range at %d", ErrVerify, idx, pc)
+					}
+					st.regs[in.Dst] = vreg{t: rtMapPtr, m: p.Maps[idx]}
+				} else {
+					imm := uint64(uint32(in.Imm)) | uint64(uint32(p.Insns[pc+1].Imm))<<32
+					st.regs[in.Dst] = vreg{t: rtScalar, known: true, val: imm}
+				}
+				pc += 2
+			case ClassLDX:
+				if err := v.checkMem(st, st.regs[in.Src], int64(in.Off), sizeOf(in.Op), false, pc); err != nil {
+					return err
+				}
+				if err := checkWritable(in.Dst, pc); err != nil {
+					return err
+				}
+				st.regs[in.Dst] = vreg{t: rtScalar}
+				pc++
+			case ClassST, ClassSTX:
+				if in.Class() == ClassSTX {
+					src := st.regs[in.Src]
+					if src.t == rtUninit {
+						return fmt.Errorf("%w: store of uninitialized r%d at %d", ErrVerify, in.Src, pc)
+					}
+					if src.t != rtScalar {
+						return fmt.Errorf("%w: storing %v to memory unsupported at %d", ErrVerify, src.t, pc)
+					}
+				}
+				if err := v.checkMem(st, st.regs[in.Dst], int64(in.Off), sizeOf(in.Op), true, pc); err != nil {
+					return err
+				}
+				pc++
+			case ClassJMP:
+				op := in.Op & 0xf0
+				switch op {
+				case JmpExit:
+					if st.regs[R0].t != rtScalar {
+						return fmt.Errorf("%w: exit with r0 %v at %d", ErrVerify, st.regs[R0].t, pc)
+					}
+					goto nextPath
+				case JmpCall:
+					if err := v.checkCall(st, in, pc); err != nil {
+						return err
+					}
+					pc++
+				case JmpA:
+					if in.Off < 0 {
+						return fmt.Errorf("%w: back-edge at %d (loops are not allowed)", ErrVerify, pc)
+					}
+					pc += int(in.Off) + 1
+				default:
+					if in.Off < 0 {
+						return fmt.Errorf("%w: back-edge at %d (loops are not allowed)", ErrVerify, pc)
+					}
+					taken, fall, err := v.checkBranch(st, in, pc)
+					if err != nil {
+						return err
+					}
+					work = append(work, frame{pc + int(in.Off) + 1, taken})
+					st = fall
+					pc++
+				}
+			default:
+				return fmt.Errorf("%w: unknown instruction class %#x at %d", ErrVerify, in.Class(), pc)
+			}
+		}
+	nextPath:
+	}
+	return nil
+}
+
+func checkWritable(reg uint8, pc int) error {
+	if reg >= R10 {
+		return fmt.Errorf("%w: write to read-only r%d at %d", ErrVerify, reg, pc)
+	}
+	return nil
+}
+
+func (v *Verifier) checkALU(st *vstate, in Insn, pc int) error {
+	op := in.Op & 0xf0
+	if err := checkWritable(in.Dst, pc); err != nil {
+		return err
+	}
+	var src vreg
+	if in.Op&SrcX != 0 {
+		src = st.regs[in.Src]
+		if src.t == rtUninit {
+			return fmt.Errorf("%w: use of uninitialized r%d at %d", ErrVerify, in.Src, pc)
+		}
+	} else {
+		src = vreg{t: rtScalar, known: true, val: uint64(int64(in.Imm))}
+	}
+
+	if op == ALUMov {
+		if in.Class() == ClassALU && src.t != rtScalar {
+			return fmt.Errorf("%w: 32-bit mov of %v at %d", ErrVerify, src.t, pc)
+		}
+		dst := src
+		if in.Class() == ClassALU {
+			dst.val = uint64(uint32(dst.val))
+		}
+		st.regs[in.Dst] = dst
+		return nil
+	}
+
+	dst := st.regs[in.Dst]
+	if op != ALUNeg && dst.t == rtUninit {
+		return fmt.Errorf("%w: use of uninitialized r%d at %d", ErrVerify, in.Dst, pc)
+	}
+	if dst.pointer() {
+		if in.Class() != ClassALU64 || (op != ALUAdd && op != ALUSub) {
+			return fmt.Errorf("%w: invalid arithmetic on %v at %d", ErrVerify, dst.t, pc)
+		}
+		if src.t != rtScalar || !src.known {
+			return fmt.Errorf("%w: pointer arithmetic with unbounded scalar at %d", ErrVerify, pc)
+		}
+		if op == ALUAdd {
+			dst.off += int64(src.val)
+		} else {
+			dst.off -= int64(src.val)
+		}
+		st.regs[in.Dst] = dst
+		return nil
+	}
+	if dst.t != rtScalar && op != ALUNeg {
+		return fmt.Errorf("%w: arithmetic on %v at %d", ErrVerify, dst.t, pc)
+	}
+	if src.t != rtScalar {
+		return fmt.Errorf("%w: arithmetic with %v source at %d", ErrVerify, src.t, pc)
+	}
+
+	out := vreg{t: rtScalar}
+	if dst.known && src.known {
+		is64 := in.Class() == ClassALU64
+		a, b := dst.val, src.val
+		if !is64 {
+			a, b = uint64(uint32(a)), uint64(uint32(b))
+		}
+		out.known = true
+		switch op {
+		case ALUAdd:
+			out.val = a + b
+		case ALUSub:
+			out.val = a - b
+		case ALUMul:
+			out.val = a * b
+		case ALUDiv:
+			if b != 0 {
+				out.val = a / b
+			}
+		case ALUMod:
+			if b == 0 {
+				out.val = a
+			} else {
+				out.val = a % b
+			}
+		case ALUOr:
+			out.val = a | b
+		case ALUAnd:
+			out.val = a & b
+		case ALUXor:
+			out.val = a ^ b
+		case ALULsh:
+			out.val = a << (b & 63)
+		case ALURsh:
+			out.val = a >> (b & 63)
+		case ALUArsh:
+			out.val = uint64(int64(a) >> (b & 63))
+		case ALUNeg:
+			out.val = -a
+		default:
+			return fmt.Errorf("%w: unknown ALU op %#x at %d", ErrVerify, op, pc)
+		}
+		if !is64 {
+			out.val = uint64(uint32(out.val))
+		}
+	} else {
+		switch op {
+		case ALUAdd, ALUSub, ALUMul, ALUDiv, ALUMod, ALUOr, ALUAnd, ALUXor, ALULsh, ALURsh, ALUArsh, ALUNeg:
+		default:
+			return fmt.Errorf("%w: unknown ALU op %#x at %d", ErrVerify, op, pc)
+		}
+	}
+	st.regs[in.Dst] = out
+	return nil
+}
+
+// checkMem validates a sized access through reg at reg.off+off.
+func (v *Verifier) checkMem(st *vstate, reg vreg, off int64, size int, write bool, pc int) error {
+	start := reg.off + off
+	switch reg.t {
+	case rtCtx:
+		if start < 0 || start+int64(size) > int64(v.CtxSize) {
+			return fmt.Errorf("%w: ctx access [%d,+%d) outside %d bytes at %d", ErrVerify, start, size, v.CtxSize, pc)
+		}
+	case rtStack:
+		if start < 0 || start+int64(size) > StackSize {
+			return fmt.Errorf("%w: stack access [%d,+%d) out of bounds at %d", ErrVerify, start, size, pc)
+		}
+		if write {
+			for i := int64(0); i < int64(size); i++ {
+				st.stackInit[start+i] = true
+			}
+		} else {
+			for i := int64(0); i < int64(size); i++ {
+				if !st.stackInit[start+i] {
+					return fmt.Errorf("%w: read of uninitialized stack byte %d at %d", ErrVerify, start+i, pc)
+				}
+			}
+		}
+	case rtMapValue:
+		if start < 0 || start+int64(size) > int64(reg.m.ValueSize()) {
+			return fmt.Errorf("%w: map value access [%d,+%d) outside %d bytes at %d", ErrVerify, start, size, reg.m.ValueSize(), pc)
+		}
+	case rtMapValueOrNull:
+		return fmt.Errorf("%w: possibly-NULL map value dereference at %d (missing null check)", ErrVerify, pc)
+	case rtUninit:
+		return fmt.Errorf("%w: memory access through uninitialized register at %d", ErrVerify, pc)
+	default:
+		return fmt.Errorf("%w: memory access through %v at %d", ErrVerify, reg.t, pc)
+	}
+	return nil
+}
+
+func (v *Verifier) checkCall(st *vstate, in Insn, pc int) error {
+	args, ret, name, ok := v.Helpers.signature(in.Imm)
+	if !ok {
+		return fmt.Errorf("%w: call to unknown helper %d at %d", ErrVerify, in.Imm, pc)
+	}
+	var m Map
+	for i, at := range args {
+		reg := st.regs[R1+i]
+		switch at {
+		case ArgMapPtr:
+			if reg.t != rtMapPtr {
+				return fmt.Errorf("%w: %s arg%d: want map pointer, have %v at %d", ErrVerify, name, i+1, reg.t, pc)
+			}
+			m = reg.m
+		case ArgPtrToMapKey, ArgPtrToMapValue:
+			if m == nil {
+				return fmt.Errorf("%w: %s arg%d: no map in r1 at %d", ErrVerify, name, i+1, pc)
+			}
+			want := m.KeySize()
+			if at == ArgPtrToMapValue {
+				want = m.ValueSize()
+			}
+			if err := v.checkMem(st, reg, 0, want, false, pc); err != nil {
+				return fmt.Errorf("%s arg%d: %w", name, i+1, err)
+			}
+		case ArgScalar:
+			if reg.t != rtScalar {
+				return fmt.Errorf("%w: %s arg%d: want scalar, have %v at %d", ErrVerify, name, i+1, reg.t, pc)
+			}
+		}
+	}
+	for i := R1; i <= R5; i++ {
+		st.regs[i] = vreg{}
+	}
+	switch ret {
+	case RetMapValueOrNull:
+		st.regs[R0] = vreg{t: rtMapValueOrNull, m: m}
+	default:
+		st.regs[R0] = vreg{t: rtScalar}
+	}
+	return nil
+}
+
+// checkBranch validates a conditional jump and returns the refined states
+// for the taken and fall-through paths.
+func (v *Verifier) checkBranch(st *vstate, in Insn, pc int) (taken, fall *vstate, err error) {
+	op := in.Op & 0xf0
+	dst := st.regs[in.Dst]
+	if dst.t == rtUninit {
+		return nil, nil, fmt.Errorf("%w: branch on uninitialized r%d at %d", ErrVerify, in.Dst, pc)
+	}
+	var srcScalarZero bool
+	if in.Op&SrcX != 0 {
+		src := st.regs[in.Src]
+		if src.t == rtUninit {
+			return nil, nil, fmt.Errorf("%w: branch on uninitialized r%d at %d", ErrVerify, in.Src, pc)
+		}
+		if dst.pointer() || src.pointer() || dst.t == rtMapPtr || src.t == rtMapPtr {
+			return nil, nil, fmt.Errorf("%w: pointer comparison at %d", ErrVerify, pc)
+		}
+		srcScalarZero = src.known && src.val == 0
+	} else {
+		srcScalarZero = in.Imm == 0
+	}
+
+	taken, fall = st.clone(), st
+	// NULL-check refinement: `if (r == 0)` / `if (r != 0)` on a maybe-null
+	// map value narrows the type on each side.
+	if dst.t == rtMapValueOrNull {
+		if (op != JmpEq && op != JmpNe) || !srcScalarZero {
+			return nil, nil, fmt.Errorf("%w: %v used in non-null-check comparison at %d", ErrVerify, dst.t, pc)
+		}
+		null := vreg{t: rtScalar, known: true, val: 0}
+		valid := vreg{t: rtMapValue, m: dst.m, off: dst.off}
+		if op == JmpEq {
+			taken.regs[in.Dst] = null
+			fall.regs[in.Dst] = valid
+		} else {
+			taken.regs[in.Dst] = valid
+			fall.regs[in.Dst] = null
+		}
+		return taken, fall, nil
+	}
+	if dst.t != rtScalar {
+		return nil, nil, fmt.Errorf("%w: comparison on %v at %d", ErrVerify, dst.t, pc)
+	}
+	return taken, fall, nil
+}

@@ -1,0 +1,263 @@
+// Package fio reproduces the fio benchmark harness used in the paper's
+// evaluation: random/sequential read/write/mixed workloads at configurable
+// block sizes, queue depths and job counts, in closed-loop (throughput) or
+// fixed-rate (latency) mode, with warmup, latency histograms and CPU
+// accounting over the measurement window.
+package fio
+
+import (
+	"fmt"
+
+	"nvmetro/internal/metrics"
+	"nvmetro/internal/sim"
+	"nvmetro/internal/vm"
+)
+
+// Mode is the workload pattern (fio's rw= parameter).
+type Mode int
+
+// Workload modes, matching Table II of the paper.
+const (
+	RandRead Mode = iota
+	RandWrite
+	RandRW
+	SeqRead
+	SeqWrite
+	SeqRW
+)
+
+func (m Mode) String() string {
+	switch m {
+	case RandRead:
+		return "RR"
+	case RandWrite:
+		return "RW"
+	case RandRW:
+		return "RRW"
+	case SeqRead:
+		return "SR"
+	case SeqWrite:
+		return "SW"
+	case SeqRW:
+		return "SRW"
+	}
+	return "?"
+}
+
+// Random reports whether offsets are random.
+func (m Mode) Random() bool { return m <= RandRW }
+
+// Config is one benchmark configuration.
+type Config struct {
+	Mode      Mode
+	BlockSize uint32       // bytes per I/O
+	QD        int          // iodepth per job
+	RateIOPS  int          // fixed submission rate per job (0 = closed loop)
+	Warmup    sim.Duration // discarded ramp-up
+	Duration  sim.Duration // measurement window
+	WorkSet   uint64       // bytes of device addressed per job (0 = 1 GiB)
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("bs=%d %v qd=%d", c.BlockSize, c.Mode, c.QD)
+}
+
+// Target is one fio job's placement: a disk as seen by a VM's vCPU.
+type Target struct {
+	Disk vm.Disk
+	VM   *vm.VM
+	VCPU *sim.Thread
+}
+
+// Result aggregates a run.
+type Result struct {
+	metrics.Summary
+	CPU     sim.CPUUsage
+	PerJob  []metrics.Summary
+	Errors  uint64
+	Configs Config
+}
+
+// job is one fio worker.
+type job struct {
+	cfg      Config
+	t        Target
+	env      *sim.Env
+	idx      int
+	regionLB uint64 // region start, in blocks
+	regionNB uint64 // region size, in blocks
+	seqCur   uint64
+
+	inflight int
+	comp     *sim.Cond
+	measFrom sim.Time
+	measTo   sim.Time
+
+	ops    metrics.Counter
+	bytes  metrics.Counter
+	errors metrics.Counter
+	lat    *metrics.Histogram
+
+	bufs  []uint64
+	pages [][]uint64
+	stop  bool
+}
+
+// Run executes cfg with one job per target, returning aggregate results.
+// It must be called from outside process context (it drives env itself).
+func Run(env *sim.Env, cpu *sim.CPU, targets []Target, cfg Config) Result {
+	if cfg.WorkSet == 0 {
+		cfg.WorkSet = 1 << 30
+	}
+	start := env.Now()
+	measFrom := start.Add(cfg.Warmup)
+	measTo := measFrom.Add(cfg.Duration)
+
+	jobs := make([]*job, len(targets))
+	for i, t := range targets {
+		blocksPer := cfg.WorkSet / uint64(t.Disk.BlockSize())
+		total := t.Disk.Blocks()
+		if blocksPer*uint64(len(targets)) > total {
+			blocksPer = total / uint64(len(targets))
+		}
+		j := &job{
+			cfg: cfg, t: t, env: env, idx: i,
+			regionLB: uint64(i) * blocksPer,
+			regionNB: blocksPer,
+			comp:     sim.NewCond(env),
+			measFrom: measFrom,
+			measTo:   measTo,
+			lat:      metrics.NewHistogram(),
+		}
+		// Preallocate one guest buffer per queue slot.
+		for s := 0; s < cfg.QD; s++ {
+			base, pages, err := t.VM.Mem.AllocBuffer(cfg.BlockSize)
+			if err != nil {
+				panic(err)
+			}
+			// Non-zero payload so encryption paths work on real data.
+			fill := make([]byte, cfg.BlockSize)
+			for k := range fill {
+				fill[k] = byte(k*7 + i + s)
+			}
+			t.VM.Mem.WriteAt(fill, base)
+			j.bufs = append(j.bufs, base)
+			j.pages = append(j.pages, pages)
+		}
+		jobs[i] = j
+		env.Go(fmt.Sprintf("fio-job%d", i), j.run)
+	}
+
+	env.RunUntil(measFrom)
+	snap := cpu.Snapshot()
+	env.RunUntil(measTo)
+
+	res := Result{Configs: cfg, CPU: cpu.Since(snap)}
+	res.Lat = metrics.NewHistogram()
+	res.WindowSec = cfg.Duration.Seconds()
+	for _, j := range jobs {
+		j.stop = true
+		s := metrics.Summary{Ops: j.ops.Value(), Bytes: j.bytes.Value(), WindowSec: cfg.Duration.Seconds(), Lat: j.lat}
+		res.PerJob = append(res.PerJob, s)
+		res.Ops += s.Ops
+		res.Bytes += s.Bytes
+		res.Errors += j.errors.Value()
+		res.Lat.Merge(j.lat)
+	}
+	res.CPUCores = res.CPU.Cores()
+	return res
+}
+
+// nextLBA picks the next I/O location, in disk blocks.
+func (j *job) nextLBA(blocks uint32) uint64 {
+	if j.regionNB <= uint64(blocks) {
+		return j.regionLB
+	}
+	if j.cfg.Mode.Random() {
+		slots := j.regionNB / uint64(blocks)
+		return j.regionLB + uint64(j.env.Rand().Int63n(int64(slots)))*uint64(blocks)
+	}
+	lba := j.regionLB + j.seqCur
+	j.seqCur += uint64(blocks)
+	if j.seqCur+uint64(blocks) > j.regionNB {
+		j.seqCur = 0
+	}
+	return lba
+}
+
+// nextOp picks read or write according to the mode.
+func (j *job) nextOp() vm.Op {
+	switch j.cfg.Mode {
+	case RandRead, SeqRead:
+		return vm.OpRead
+	case RandWrite, SeqWrite:
+		return vm.OpWrite
+	default:
+		if j.env.Rand().Intn(2) == 0 {
+			return vm.OpRead
+		}
+		return vm.OpWrite
+	}
+}
+
+func (j *job) run(p *sim.Proc) {
+	bs := j.t.Disk.BlockSize()
+	blocks := j.cfg.BlockSize / bs
+	if blocks == 0 {
+		blocks = 1
+	}
+	var interval sim.Duration
+	if j.cfg.RateIOPS > 0 {
+		interval = sim.Duration(int64(sim.Second) / int64(j.cfg.RateIOPS))
+	}
+	nextAt := p.Now()
+	slots := make([]int, 0, j.cfg.QD)
+	for s := 0; s < j.cfg.QD; s++ {
+		slots = append(slots, s)
+	}
+
+	for !j.stop {
+		// Submit while a slot is free (and the rate gate is open).
+		for len(slots) > 0 && !j.stop {
+			if interval > 0 && p.Now() < nextAt {
+				break
+			}
+			slot := slots[len(slots)-1]
+			slots = slots[:len(slots)-1]
+			nextAt = nextAt.Add(interval)
+			if interval > 0 && nextAt < p.Now() {
+				nextAt = p.Now() // do not accumulate missed slots
+			}
+			r := &vm.Req{
+				Op:       j.nextOp(),
+				LBA:      j.nextLBA(blocks),
+				Blocks:   blocks,
+				Buf:      j.bufs[slot],
+				BufPages: j.pages[slot],
+			}
+			r.OnDone = func(done *vm.Req) {
+				slots = append(slots, slot)
+				if done.Completed > j.measFrom && done.Completed <= j.measTo {
+					if done.Status.OK() {
+						j.ops.Inc()
+						j.bytes.Add(uint64(j.cfg.BlockSize))
+						j.lat.Record(int64(done.Latency()))
+					} else {
+						j.errors.Inc()
+					}
+				}
+				j.comp.Signal(nil)
+			}
+			j.t.Disk.Submit(p, j.t.VCPU, r)
+		}
+		// Wait for a completion or the next rate slot.
+		if interval > 0 && len(slots) > 0 {
+			wait := nextAt.Sub(p.Now())
+			if wait > 0 {
+				j.comp.WaitTimeout(wait)
+			}
+		} else {
+			j.comp.Wait()
+		}
+	}
+}

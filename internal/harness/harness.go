@@ -1,0 +1,148 @@
+// Package harness is the evaluation driver: it rebuilds the paper's entire
+// testbed per configuration (fresh simulation, host, device, VMs, solution
+// stack), runs the fio and YCSB workloads of Section V, and renders one
+// table per paper figure. Every experiment is registered by figure ID and
+// runnable individually from cmd/nvmetro-bench or the root bench suite.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options controls run scale.
+type Options struct {
+	Quick bool  // shorter windows and a thinner grid for CI/bench runs
+	Seed  int64 // simulation seed
+}
+
+// Table is one rendered result table.
+type Table struct {
+	ID    string
+	Title string
+	Unit  string
+	Cols  []string
+	Rows  []TableRow
+	Notes string
+}
+
+// TableRow is one labeled result row.
+type TableRow struct {
+	Label string
+	Cells []float64
+}
+
+// Add appends a row.
+func (t *Table) Add(label string, cells ...float64) {
+	t.Rows = append(t.Rows, TableRow{Label: label, Cells: cells})
+}
+
+// Cell returns a named cell (for assertions), or NaN-like -1 if missing.
+func (t *Table) Cell(rowLabel, col string) float64 {
+	ci := -1
+	for i, c := range t.Cols {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return -1
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && ci < len(r.Cells) {
+			return r.Cells[ci]
+		}
+	}
+	return -1
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s", t.ID, t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(w, " (%s)", t.Unit)
+	}
+	fmt.Fprintln(w, " ===")
+	width := 30
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", width+2, "config")
+	for _, c := range t.Cols {
+		fmt.Fprintf(w, "%14s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-*s", width+2, r.Label)
+		for _, c := range r.Cells {
+			fmt.Fprintf(w, "%14.1f", c)
+		}
+		fmt.Fprintln(w)
+	}
+	if t.Notes != "" {
+		fmt.Fprintln(w, t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as CSV.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("config," + strings.Join(t.Cols, ",") + "\n")
+	for _, r := range t.Rows {
+		sb.WriteString(r.Label)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&sb, ",%.3f", c)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Experiment is a registered, runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) []*Table
+}
+
+var registry = map[string]Experiment{}
+var order []string
+
+func register(id, title string, run func(o Options) []*Table) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+	order = append(order, id)
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// List returns all experiment IDs in registration order.
+func List() []Experiment {
+	ids := append([]string(nil), order...)
+	sort.Slice(ids, func(i, j int) bool {
+		// registration order is already curated; keep it stable
+		return indexOf(order, ids[i]) < indexOf(order, ids[j])
+	})
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+func indexOf(s []string, v string) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,180 @@
+// Package nvmeof simulates NVMe over Fabrics for the replication use case:
+// an RDMA-class link (latency + bandwidth), a target on the remote host
+// that services capsules against its local NVMe device, and an initiator
+// that exposes the remote namespace as a host block device. The paper's
+// setup — "two hosts connected using NVMe over Infiniband" — maps to one
+// Link between two simulated hosts.
+package nvmeof
+
+import (
+	"fmt"
+
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+)
+
+// Link is a full-duplex fabric link with an analytic serialization model:
+// each direction is a channel whose next-free time advances by size/BW per
+// message, plus a propagation latency.
+type Link struct {
+	env     *sim.Env
+	Latency sim.Duration
+	BW      float64 // bytes/sec per direction
+	nextTx  [2]sim.Time
+
+	// Stats
+	Messages [2]uint64
+	Bytes    [2]uint64
+}
+
+// Directions.
+const (
+	DirToTarget = 0
+	DirToHost   = 1
+)
+
+// NewLink creates a link. Defaults approximate FDR Infiniband: ~5 µs
+// one-way latency, ~6 GB/s per direction.
+func NewLink(env *sim.Env, latency sim.Duration, bw float64) *Link {
+	return &Link{env: env, Latency: latency, BW: bw}
+}
+
+// DefaultLink returns the calibrated Infiniband-class link.
+func DefaultLink(env *sim.Env) *Link {
+	return NewLink(env, 5*sim.Microsecond, 6e9)
+}
+
+// Send delivers fn after the message of size bytes crosses the link in
+// direction dir, honoring serialization and propagation delay.
+func (l *Link) Send(dir int, size int, fn func()) {
+	now := l.env.Now()
+	depart := l.nextTx[dir]
+	if depart < now {
+		depart = now
+	}
+	txDone := depart.Add(sim.Duration(float64(size) / l.BW * 1e9))
+	l.nextTx[dir] = txDone
+	l.Messages[dir]++
+	l.Bytes[dir] += uint64(size)
+	l.env.At(txDone.Add(l.Latency), fn)
+}
+
+// capsuleHeader approximates the NVMe-oF capsule overhead in bytes.
+const capsuleHeader = 72
+
+// Target is the remote host's NVMe-oF target: a worker thread that services
+// incoming capsules against the remote block device.
+type Target struct {
+	env   *sim.Env
+	bdev  blockdev.BlockDevice
+	th    *sim.Thread
+	queue []capsule
+	wake  *sim.Cond
+	// PerCmd is the target-side processing cost per capsule.
+	PerCmd sim.Duration
+
+	Served uint64
+}
+
+type capsule struct {
+	op     blockdev.BioOp
+	sector uint64
+	data   []byte
+	nsect  uint32
+	reply  func(nvme.Status, []byte)
+}
+
+// NewTarget starts a target over bdev using a thread on the remote CPU.
+func NewTarget(env *sim.Env, bdev blockdev.BlockDevice, remoteCPU *sim.CPU) *Target {
+	t := &Target{env: env, bdev: bdev, th: remoteCPU.NewThread("nvmeof-tgt"), wake: sim.NewCond(env), PerCmd: 2 * sim.Microsecond}
+	env.Go("nvmeof-target", t.run)
+	return t
+}
+
+func (t *Target) run(p *sim.Proc) {
+	for {
+		if len(t.queue) == 0 {
+			t.wake.Wait()
+			continue
+		}
+		c := t.queue[0]
+		t.queue = t.queue[1:]
+		t.th.Exec(p, t.PerCmd)
+		t.Served++
+		bio := &blockdev.Bio{Op: c.op, Sector: c.sector, Data: c.data, NSect: c.nsect}
+		reply := c.reply
+		data := c.data
+		isRead := c.op == blockdev.BioRead
+		bio.OnDone = func(st nvme.Status) {
+			if isRead {
+				reply(st, data)
+			} else {
+				reply(st, nil)
+			}
+		}
+		t.bdev.SubmitBio(p, t.th, bio)
+	}
+}
+
+// Initiator exposes the remote namespace as a local BlockDevice.
+type Initiator struct {
+	env  *sim.Env
+	link *Link
+	tgt  *Target
+	// PerCmd is the host-side submission cost (RDMA post + completion).
+	PerCmd sim.Duration
+
+	Sent uint64
+}
+
+// NewInitiator connects to tgt over link.
+func NewInitiator(env *sim.Env, link *Link, tgt *Target) *Initiator {
+	return &Initiator{env: env, link: link, tgt: tgt, PerCmd: 1500 * sim.Nanosecond}
+}
+
+// NumSectors implements BlockDevice.
+func (i *Initiator) NumSectors() uint64 { return i.tgt.bdev.NumSectors() }
+
+// SubmitBio implements BlockDevice: the bio crosses the fabric as a
+// capsule, is serviced remotely, and the response (with data for reads)
+// crosses back.
+func (i *Initiator) SubmitBio(p *sim.Proc, th *sim.Thread, b *blockdev.Bio) {
+	th.Exec(p, i.PerCmd)
+	i.Sent++
+	size := capsuleHeader
+	var payload []byte
+	if b.Op == blockdev.BioWrite {
+		// In-capsule data (RDMA write); copy because the caller may reuse
+		// its buffer after completion.
+		payload = append([]byte(nil), b.Data...)
+		size += len(payload)
+	} else if b.Op == blockdev.BioRead {
+		payload = make([]byte, len(b.Data))
+	}
+	done := b.OnDone
+	dst := b.Data
+	op, sector, nsect := b.Op, b.Sector, b.NSect
+	i.link.Send(DirToTarget, size, func() {
+		i.tgt.queue = append(i.tgt.queue, capsule{
+			op: op, sector: sector, data: payload, nsect: nsect,
+			reply: func(st nvme.Status, rdata []byte) {
+				rsize := capsuleHeader
+				if op == blockdev.BioRead {
+					rsize += len(rdata)
+				}
+				i.link.Send(DirToHost, rsize, func() {
+					if op == blockdev.BioRead && st.OK() {
+						copy(dst, rdata)
+					}
+					done(st)
+				})
+			},
+		})
+		i.tgt.wake.Signal(nil)
+	})
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link{lat=%v bw=%.1fGB/s tx=%d/%d}", l.Latency, l.BW/1e9, l.Messages[0], l.Messages[1])
+}

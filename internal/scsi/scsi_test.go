@@ -1,0 +1,72 @@
+package scsi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRead16RoundTrip(t *testing.T) {
+	cdb := Read16(0x123456789ab, 77)
+	cmd, err := Decode(cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmd.IsRead() || cmd.IsWrite() || cmd.LBA != 0x123456789ab || cmd.Blocks != 77 {
+		t.Fatalf("%+v", cmd)
+	}
+}
+
+func TestWrite16RoundTrip(t *testing.T) {
+	cmd, err := Decode(Write16(42, 8))
+	if err != nil || !cmd.IsWrite() || cmd.LBA != 42 || cmd.Blocks != 8 {
+		t.Fatalf("%+v %v", cmd, err)
+	}
+}
+
+func TestServiceCommands(t *testing.T) {
+	if cmd, err := Decode(SyncCache()); err != nil || cmd.Op != OpSyncCache10 {
+		t.Fatalf("sync: %+v %v", cmd, err)
+	}
+	if cmd, err := Decode(Unmap(100, 50)); err != nil || cmd.Op != OpUnmap || cmd.LBA != 100 || cmd.Blocks != 50 {
+		t.Fatalf("unmap: %+v %v", cmd, err)
+	}
+}
+
+func TestDecodeRead10(t *testing.T) {
+	cdb := make(CDB, 10)
+	cdb[0] = OpRead10
+	cdb[2], cdb[3], cdb[4], cdb[5] = 0, 0, 0x10, 0x00 // LBA 4096
+	cdb[7], cdb[8] = 0, 16
+	cmd, err := Decode(cdb)
+	if err != nil || cmd.LBA != 4096 || cmd.Blocks != 16 || !cmd.IsRead() {
+		t.Fatalf("%+v %v", cmd, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil CDB accepted")
+	}
+	if _, err := Decode(CDB{0xff}); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+	if _, err := Decode(CDB{OpRead16, 0, 0}); err == nil {
+		t.Fatal("truncated CDB accepted")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(lba uint64, blocks uint32, write bool) bool {
+		var cdb CDB
+		if write {
+			cdb = Write16(lba, blocks)
+		} else {
+			cdb = Read16(lba, blocks)
+		}
+		cmd, err := Decode(cdb)
+		return err == nil && cmd.LBA == lba && cmd.Blocks == blocks && cmd.IsWrite() == write
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

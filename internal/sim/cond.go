@@ -1,0 +1,97 @@
+package sim
+
+// waitTok represents one parked wait. A token fires exactly once — either by
+// a signal or by a timeout — which makes Signal/WaitTimeout races impossible.
+type waitTok struct {
+	p        *Proc
+	fired    bool
+	signaled bool
+	val      any // optional payload handed over by Signal
+}
+
+// Cond is a FIFO condition variable for simulated processes. Unlike
+// sync.Cond there is no associated lock: only one process runs at a time,
+// so checking the predicate and calling Wait is already atomic.
+type Cond struct {
+	env     *Env
+	waiters []*waitTok
+}
+
+// NewCond returns a condition bound to env.
+func NewCond(env *Env) *Cond { return &Cond{env: env} }
+
+// Waiters reports how many processes are currently parked on the condition.
+func (c *Cond) Waiters() int {
+	n := 0
+	for _, t := range c.waiters {
+		if !t.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Wait parks the calling process until Signal or Broadcast wakes it.
+// It returns the value passed to Signal (nil for Broadcast).
+func (c *Cond) Wait() any {
+	p := c.env.current()
+	tok := &waitTok{p: p}
+	c.waiters = append(c.waiters, tok)
+	p.park()
+	return tok.val
+}
+
+// WaitTimeout parks the calling process until signaled or until d elapses.
+// It reports whether the wake-up was a signal, and the signal value if so.
+func (c *Cond) WaitTimeout(d Duration) (any, bool) {
+	p := c.env.current()
+	tok := &waitTok{p: p}
+	c.waiters = append(c.waiters, tok)
+	c.env.After(d, func() {
+		if !tok.fired {
+			tok.fired = true
+			c.env.push(c.env.now, tok.p, nil)
+		}
+	})
+	p.park()
+	return tok.val, tok.signaled
+}
+
+// pop removes and returns the first unfired waiter, or nil.
+func (c *Cond) pop() *waitTok {
+	for len(c.waiters) > 0 {
+		tok := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if !tok.fired {
+			return tok
+		}
+	}
+	return nil
+}
+
+// Signal wakes the longest-waiting process, handing it val. It reports
+// whether a waiter was woken. Safe from both process and callback context.
+func (c *Cond) Signal(val any) bool {
+	tok := c.pop()
+	if tok == nil {
+		return false
+	}
+	tok.fired = true
+	tok.signaled = true
+	tok.val = val
+	c.env.push(c.env.now, tok.p, nil)
+	return true
+}
+
+// Broadcast wakes every parked process.
+func (c *Cond) Broadcast() {
+	for {
+		tok := c.pop()
+		if tok == nil {
+			return
+		}
+		tok.fired = true
+		tok.signaled = true
+		c.env.push(c.env.now, tok.p, nil)
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import "sort"
+
+// Core is a simulated CPU core: unit-capacity FIFO resource plus per-tag
+// busy-time accounting. Tags identify who consumed the time (e.g. "guest",
+// "router", "uif", "kernel"), feeding the whole-system CPU figures.
+type Core struct {
+	env  *Env
+	ID   int
+	res  *Resource
+	busy map[string]Duration
+}
+
+// Exec occupies the core for d and accounts the time under tag. The calling
+// process waits FIFO if the core is busy.
+func (c *Core) Exec(p *Proc, tag string, d Duration) {
+	c.res.Acquire()
+	p.Sleep(d)
+	c.res.Release()
+	c.busy[tag] += d
+}
+
+// TryExec occupies the core only if it is currently idle, reporting success.
+func (c *Core) TryExec(p *Proc, tag string, d Duration) bool {
+	if !c.res.TryAcquire() {
+		return false
+	}
+	p.Sleep(d)
+	c.res.Release()
+	c.busy[tag] += d
+	return true
+}
+
+// Busy returns total busy time accumulated on the core.
+func (c *Core) Busy() Duration {
+	var t Duration
+	for _, d := range c.busy {
+		t += d
+	}
+	return t
+}
+
+// CPU is a set of cores with round-robin assignment for thread placement.
+type CPU struct {
+	env   *Env
+	cores []*Core
+	next  int
+}
+
+// NewCPU creates n cores.
+func NewCPU(env *Env, n int) *CPU {
+	c := &CPU{env: env}
+	for i := 0; i < n; i++ {
+		c.cores = append(c.cores, &Core{env: env, ID: i, res: NewResource(env, 1), busy: make(map[string]Duration)})
+	}
+	return c
+}
+
+// NumCores returns the core count.
+func (c *CPU) NumCores() int { return len(c.cores) }
+
+// Core returns core i.
+func (c *CPU) Core(i int) *Core { return c.cores[i] }
+
+// NextCore returns cores round-robin; used to spread threads.
+func (c *CPU) NextCore() *Core {
+	core := c.cores[c.next%len(c.cores)]
+	c.next++
+	return core
+}
+
+// CPUSnapshot captures per-tag busy time at one instant.
+type CPUSnapshot struct {
+	at   Time
+	busy map[string]Duration
+}
+
+// Snapshot captures the current accounting state.
+func (c *CPU) Snapshot() CPUSnapshot {
+	s := CPUSnapshot{at: c.env.now, busy: make(map[string]Duration)}
+	for _, core := range c.cores {
+		for tag, d := range core.busy {
+			s.busy[tag] += d
+		}
+	}
+	return s
+}
+
+// CPUUsage is busy time per tag over a measurement window.
+type CPUUsage struct {
+	Window Duration
+	ByTag  map[string]Duration
+}
+
+// Total returns the summed busy time across tags.
+func (u CPUUsage) Total() Duration {
+	var t Duration
+	for _, d := range u.ByTag {
+		t += d
+	}
+	return t
+}
+
+// Cores returns average busy cores over the window (total busy / window).
+func (u CPUUsage) Cores() float64 {
+	if u.Window <= 0 {
+		return 0
+	}
+	return float64(u.Total()) / float64(u.Window)
+}
+
+// Tags returns the tag names sorted for stable output.
+func (u CPUUsage) Tags() []string {
+	tags := make([]string, 0, len(u.ByTag))
+	for t := range u.ByTag {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// Since returns usage accumulated since the snapshot.
+func (c *CPU) Since(s CPUSnapshot) CPUUsage {
+	cur := c.Snapshot()
+	u := CPUUsage{Window: cur.at.Sub(s.at), ByTag: make(map[string]Duration)}
+	for tag, d := range cur.busy {
+		if delta := d - s.busy[tag]; delta > 0 {
+			u.ByTag[tag] = delta
+		}
+	}
+	return u
+}
+
+// Thread is a simulated OS thread (or vCPU) pinned to one core with a fixed
+// accounting tag.
+type Thread struct {
+	Core *Core
+	Tag  string
+}
+
+// NewThread pins a new thread on the next core round-robin.
+func (c *CPU) NewThread(tag string) *Thread {
+	return &Thread{Core: c.NextCore(), Tag: tag}
+}
+
+// ThreadOn pins a thread to a specific core.
+func (c *CPU) ThreadOn(i int, tag string) *Thread {
+	return &Thread{Core: c.cores[i], Tag: tag}
+}
+
+// Exec runs d of work on the thread's core, accounted under the thread tag.
+func (t *Thread) Exec(p *Proc, d Duration) { t.Core.Exec(p, t.Tag, d) }

@@ -1,0 +1,86 @@
+package sim
+
+// Resource is a counted resource with FIFO admission, in the style of a
+// semaphore. It models anything with finite concurrent capacity: CPU cores,
+// device channels, a serialized bus.
+type Resource struct {
+	env   *Env
+	cap   int
+	inUse int
+	q     []*waitTok
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, cap: capacity}
+}
+
+// Cap returns the capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int {
+	n := 0
+	for _, t := range r.q {
+		if !t.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// TryAcquire acquires a unit without blocking, reporting success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap && len(r.q) == 0 {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Acquire blocks the calling process until a unit is available. Units are
+// granted in FIFO order; releases hand ownership directly to the head
+// waiter, so late arrivals cannot barge.
+func (r *Resource) Acquire() {
+	if r.TryAcquire() {
+		return
+	}
+	p := r.env.current()
+	tok := &waitTok{p: p}
+	r.q = append(r.q, tok)
+	p.park()
+	// Ownership was transferred by Release; inUse already accounts for us.
+}
+
+// Release returns a unit, waking the head waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without Acquire")
+	}
+	for len(r.q) > 0 {
+		tok := r.q[0]
+		r.q = r.q[1:]
+		if tok.fired {
+			continue
+		}
+		tok.fired = true
+		tok.signaled = true
+		// Hand the unit over without decrementing inUse.
+		r.env.push(r.env.now, tok.p, nil)
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires a unit, holds it for d, and releases it.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire()
+	p.Sleep(d)
+	r.Release()
+}

@@ -1,0 +1,297 @@
+// Package sim implements a deterministic, process-based discrete-event
+// simulation (DES) kernel. It is the time substrate for the whole NVMetro
+// reproduction: every host thread, vCPU, device and fabric link runs as a
+// simulated process on a virtual clock.
+//
+// The model follows SimPy-style process interaction: processes are ordinary
+// goroutines, but the scheduler hands out a single run token, so exactly one
+// process executes at any instant. All cross-process interaction goes through
+// sim primitives (Sleep, Cond, Resource, events), which makes simulations
+// deterministic given a seed and free of data races by construction.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two timestamps.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string     { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)/1e3) }
+
+// Seconds returns the duration in seconds as a float.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// ErrStopped is the panic value delivered to a parked process when the
+// environment is closed. Process bodies should not recover from it.
+var ErrStopped = errors.New("sim: environment closed")
+
+type event struct {
+	t   Time
+	seq uint64
+	// Exactly one of p / fn is set: wake a parked process, or run a
+	// callback in scheduler context (callbacks must not block).
+	p  *Proc
+	fn func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) Peek() *event { return h[0] }
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// It is not safe for concurrent use from multiple OS threads; all access
+// must come from the scheduler goroutine or from simulated processes.
+type Env struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	yield   chan struct{}
+	cur     *Proc
+	parked  map[*Proc]struct{}
+	live    int
+	closed  bool
+	fail    any // panic value captured from a process
+	stopped bool
+	rng     *rand.Rand
+}
+
+// New creates an environment whose random source is seeded with seed.
+func New(seed int64) *Env {
+	return &Env{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from simulated processes (or between Run calls) so that draws
+// happen in a deterministic order.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Live reports the number of processes that have been spawned and have not
+// yet finished.
+func (e *Env) Live() int { return e.live }
+
+func (e *Env) push(t Time, p *Proc, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, p: p, fn: fn}
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// At schedules fn to run in scheduler context at time t. fn must not block
+// on simulation primitives; it may signal conditions and spawn processes.
+func (e *Env) At(t Time, fn func()) {
+	e.push(t, nil, fn)
+}
+
+// After schedules fn to run d from now (see At).
+func (e *Env) After(d Duration, fn func()) {
+	e.push(e.now.Add(d), nil, fn)
+}
+
+// Proc is a simulated process. Its methods must be called from the process's
+// own goroutine while it holds the run token.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan bool // value: stop flag
+	done   bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns a new process. The body starts at the current virtual time,
+// after the currently running process yields. Safe to call from process
+// context, callback context, or before Run.
+func (e *Env) Go(name string, body func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Go after Close")
+	}
+	p := &Proc{env: e, name: name, resume: make(chan bool)}
+	e.live++
+	go func() {
+		defer func() {
+			p.done = true
+			e.live--
+			if r := recover(); r != nil && r != errStopSentinel {
+				// Keep the failure for the scheduler to re-panic with,
+				// so test output points at the process body.
+				e.fail = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			e.yield <- struct{}{}
+		}()
+		if stop := <-p.resume; stop {
+			panic(errStopSentinel)
+		}
+		body(p)
+	}()
+	e.push(e.now, p, nil)
+	return p
+}
+
+var errStopSentinel = errors.New("sim: stop")
+
+// park blocks the calling process until the scheduler resumes it.
+// Callers must have arranged a wake-up (event or condition) beforehand.
+func (p *Proc) park() {
+	e := p.env
+	e.parked[p] = struct{}{}
+	e.yield <- struct{}{}
+	if stop := <-p.resume; stop {
+		panic(errStopSentinel)
+	}
+}
+
+// Sleep suspends the process for d virtual time. Negative or zero d yields
+// the token and resumes at the current time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.push(p.env.now.Add(d), p, nil)
+	p.park()
+}
+
+// Yield gives other runnable processes scheduled at the current instant a
+// chance to run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+func (e *Env) dispatch(ev *event) {
+	e.now = ev.t
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	p := ev.p
+	if p.done {
+		return // stale wake for a finished process
+	}
+	delete(e.parked, p)
+	e.cur = p
+	p.resume <- false
+	<-e.yield
+	e.cur = nil
+	if e.fail != nil {
+		f := e.fail
+		e.fail = nil
+		panic(f)
+	}
+}
+
+// Run processes events until the queue is empty (all processes are either
+// finished or parked with no pending wake-up) or Stop is called. It returns
+// the final time.
+func (e *Env) Run() Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		e.dispatch(heap.Pop(&e.heap).(*event))
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to exactly t. It returns early if Stop is called.
+func (e *Env) RunUntil(t Time) {
+	e.stopped = false
+	for len(e.heap) > 0 && e.heap.Peek().t <= t && !e.stopped {
+		e.dispatch(heap.Pop(&e.heap).(*event))
+	}
+	if e.now < t && !e.stopped {
+		e.now = t
+	}
+}
+
+// Stop makes the in-progress Run or RunUntil return after the current event.
+// Callable from process or callback context.
+func (e *Env) Stop() { e.stopped = true }
+
+// Close terminates every parked process by delivering a stop panic, releasing
+// their goroutines. The environment must not be used afterwards.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	stop := func(p *Proc) {
+		if p.done {
+			return
+		}
+		delete(e.parked, p)
+		p.resume <- true
+		<-e.yield
+	}
+	// Spawned-but-not-yet-started processes only appear as heap events.
+	for _, ev := range e.heap {
+		if ev.p != nil {
+			stop(ev.p)
+		}
+	}
+	for len(e.parked) > 0 {
+		for p := range e.parked {
+			stop(p)
+		}
+	}
+	e.heap = nil
+}
+
+// cur returns the running process, panicking if called outside one.
+func (e *Env) current() *Proc {
+	if e.cur == nil {
+		panic("sim: blocking primitive called outside process context")
+	}
+	return e.cur
+}

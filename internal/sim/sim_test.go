@@ -1,0 +1,385 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := New(1)
+	var woke Time
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		woke = p.Now()
+	})
+	end := env.Run()
+	if woke != Time(5*Microsecond) {
+		t.Fatalf("woke at %v, want 5us", woke)
+	}
+	if end != woke {
+		t.Fatalf("end time %v != wake time %v", end, woke)
+	}
+}
+
+func TestEventOrderingFIFOAtSameTime(t *testing.T) {
+	env := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		env.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			order = append(order, i)
+		})
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not FIFO", order)
+		}
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	env := New(1)
+	var at Time
+	env.After(3*Microsecond, func() { at = env.Now() })
+	env.Run()
+	if at != Time(3*Microsecond) {
+		t.Fatalf("callback at %v", at)
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	env := New(1)
+	ticks := 0
+	env.Go("ticker", func(p *Proc) {
+		for {
+			p.Sleep(Microsecond)
+			ticks++
+		}
+	})
+	env.RunUntil(Time(10 * Microsecond))
+	if ticks != 10 {
+		t.Fatalf("got %d ticks, want 10", ticks)
+	}
+	if env.Now() != Time(10*Microsecond) {
+		t.Fatalf("now=%v", env.Now())
+	}
+	env.Close()
+}
+
+func TestCondSignalWakesFIFO(t *testing.T) {
+	env := New(1)
+	c := NewCond(env)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		env.Go(name, func(p *Proc) {
+			c.Wait()
+			order = append(order, name)
+		})
+	}
+	env.Go("signaler", func(p *Proc) {
+		p.Sleep(Microsecond)
+		for i := 0; i < 3; i++ {
+			c.Signal(nil)
+		}
+	})
+	env.Run()
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Fatalf("wake order %v", order)
+	}
+}
+
+func TestCondSignalValue(t *testing.T) {
+	env := New(1)
+	c := NewCond(env)
+	var got any
+	env.Go("waiter", func(p *Proc) { got = c.Wait() })
+	env.Go("signaler", func(p *Proc) { c.Signal(42) })
+	env.Run()
+	if got != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	env := New(1)
+	c := NewCond(env)
+	var signaled bool
+	var at Time
+	env.Go("waiter", func(p *Proc) {
+		_, signaled = c.WaitTimeout(5 * Microsecond)
+		at = p.Now()
+	})
+	env.Run()
+	if signaled {
+		t.Fatal("should have timed out")
+	}
+	if at != Time(5*Microsecond) {
+		t.Fatalf("timed out at %v", at)
+	}
+	// Late Signal after timeout must not wake anyone or panic.
+	if c.Signal(nil) {
+		t.Fatal("signal found a stale waiter")
+	}
+}
+
+func TestCondWaitTimeoutSignaledFirst(t *testing.T) {
+	env := New(1)
+	c := NewCond(env)
+	var signaled bool
+	var at Time
+	env.Go("waiter", func(p *Proc) {
+		_, signaled = c.WaitTimeout(100 * Microsecond)
+		at = p.Now()
+	})
+	env.Go("signaler", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		c.Signal(nil)
+	})
+	env.Run()
+	if !signaled || at != Time(2*Microsecond) {
+		t.Fatalf("signaled=%v at=%v", signaled, at)
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	env := New(1)
+	c := NewCond(env)
+	woke := 0
+	for i := 0; i < 5; i++ {
+		env.Go("w", func(p *Proc) { c.Wait(); woke++ })
+	}
+	env.Go("b", func(p *Proc) { p.Sleep(1); c.Broadcast() })
+	env.Run()
+	if woke != 5 {
+		t.Fatalf("woke %d", woke)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	env := New(1)
+	r := NewResource(env, 1)
+	var maxConc, conc int
+	for i := 0; i < 4; i++ {
+		env.Go("u", func(p *Proc) {
+			r.Acquire()
+			conc++
+			if conc > maxConc {
+				maxConc = conc
+			}
+			p.Sleep(10 * Microsecond)
+			conc--
+			r.Release()
+		})
+	}
+	end := env.Run()
+	if maxConc != 1 {
+		t.Fatalf("max concurrency %d", maxConc)
+	}
+	if end != Time(40*Microsecond) {
+		t.Fatalf("serialized end time %v", end)
+	}
+}
+
+func TestResourceCapacityParallelism(t *testing.T) {
+	env := New(1)
+	r := NewResource(env, 4)
+	for i := 0; i < 8; i++ {
+		env.Go("u", func(p *Proc) { r.Use(p, 10*Microsecond) })
+	}
+	if end := env.Run(); end != Time(20*Microsecond) {
+		t.Fatalf("end %v, want 20us (two waves of four)", end)
+	}
+}
+
+func TestResourceFIFOHandoff(t *testing.T) {
+	env := New(1)
+	r := NewResource(env, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Go("u", func(p *Proc) {
+			r.Acquire()
+			order = append(order, i)
+			p.Sleep(Microsecond)
+			r.Release()
+		})
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestCoreAccounting(t *testing.T) {
+	env := New(1)
+	cpu := NewCPU(env, 2)
+	th0 := cpu.ThreadOn(0, "a")
+	th1 := cpu.ThreadOn(1, "b")
+	snap := cpu.Snapshot()
+	env.Go("a", func(p *Proc) { th0.Exec(p, 30*Microsecond) })
+	env.Go("b", func(p *Proc) { th1.Exec(p, 10*Microsecond) })
+	env.RunUntil(Time(100 * Microsecond))
+	u := cpu.Since(snap)
+	if u.ByTag["a"] != 30*Microsecond || u.ByTag["b"] != 10*Microsecond {
+		t.Fatalf("usage %v", u.ByTag)
+	}
+	if got := u.Cores(); got < 0.39 || got > 0.41 {
+		t.Fatalf("avg cores %f, want 0.4", got)
+	}
+}
+
+func TestCoreContentionSerializes(t *testing.T) {
+	env := New(1)
+	cpu := NewCPU(env, 1)
+	core := cpu.Core(0)
+	var end1, end2 Time
+	env.Go("a", func(p *Proc) { core.Exec(p, "x", 10*Microsecond); end1 = p.Now() })
+	env.Go("b", func(p *Proc) { core.Exec(p, "y", 10*Microsecond); end2 = p.Now() })
+	env.Run()
+	if end1 != Time(10*Microsecond) || end2 != Time(20*Microsecond) {
+		t.Fatalf("ends %v %v", end1, end2)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		env := New(42)
+		c := NewCond(env)
+		var log []Time
+		for i := 0; i < 20; i++ {
+			env.Go("w", func(p *Proc) {
+				d := Duration(env.Rand().Intn(1000)) * Nanosecond
+				p.Sleep(d)
+				log = append(log, p.Now())
+				if env.Rand().Intn(2) == 0 {
+					c.Signal(nil)
+				} else {
+					c.WaitTimeout(Duration(env.Rand().Intn(500)))
+				}
+			})
+		}
+		env.Run()
+		return log
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("non-deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestCloseReleasesParkedProcesses(t *testing.T) {
+	env := New(1)
+	c := NewCond(env)
+	for i := 0; i < 3; i++ {
+		env.Go("w", func(p *Proc) { c.Wait() })
+	}
+	env.Go("s", func(p *Proc) { p.Sleep(Second) })
+	env.RunUntil(Time(Microsecond))
+	if env.Live() != 4 {
+		t.Fatalf("live %d", env.Live())
+	}
+	env.Close()
+	if env.Live() != 0 {
+		t.Fatalf("live after close %d", env.Live())
+	}
+}
+
+func TestCloseNeverStartedProcess(t *testing.T) {
+	env := New(1)
+	env.Go("never", func(p *Proc) { t.Error("body must not run") })
+	env.Close()
+	if env.Live() != 0 {
+		t.Fatalf("live %d", env.Live())
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	env := New(1)
+	env.Go("boom", func(p *Proc) { panic("kaboom") })
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic to propagate from Run")
+		}
+	}()
+	env.Run()
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	env := New(1)
+	env.Go("p", func(p *Proc) { p.Sleep(10) })
+	env.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	env.At(Time(5), func() {})
+}
+
+func TestNestedSpawn(t *testing.T) {
+	env := New(1)
+	depth := 0
+	var spawn func(p *Proc)
+	spawn = func(p *Proc) {
+		depth++
+		if depth < 5 {
+			p.Env().Go("child", spawn)
+		}
+	}
+	env.Go("root", spawn)
+	env.Run()
+	if depth != 5 {
+		t.Fatalf("depth %d", depth)
+	}
+}
+
+func TestYieldInterleaving(t *testing.T) {
+	env := New(1)
+	var log []string
+	env.Go("a", func(p *Proc) {
+		log = append(log, "a1")
+		p.Yield()
+		log = append(log, "a2")
+	})
+	env.Go("b", func(p *Proc) {
+		log = append(log, "b1")
+	})
+	env.Run()
+	if fmt.Sprint(log) != "[a1 b1 a2]" {
+		t.Fatalf("log %v", log)
+	}
+}
+
+func BenchmarkSleepWake(b *testing.B) {
+	env := New(1)
+	env.Go("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+func BenchmarkCondPingPong(b *testing.B) {
+	env := New(1)
+	c1, c2 := NewCond(env), NewCond(env)
+	env.Go("pong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c1.Wait()
+			c2.Signal(nil)
+		}
+	})
+	env.Go("ping", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c1.Signal(nil)
+			c2.Wait()
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}

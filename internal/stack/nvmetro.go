@@ -1,0 +1,170 @@
+package stack
+
+import (
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/core"
+	"nvmetro/internal/device"
+	"nvmetro/internal/nvmeof"
+	"nvmetro/internal/sgx"
+	"nvmetro/internal/sim"
+	"nvmetro/internal/storfn"
+	"nvmetro/internal/uif"
+	"nvmetro/internal/vm"
+)
+
+// NVMetro is the paper's system as a provisionable solution. The basic
+// configuration runs the "dummy" fast-path classifier (or the partition
+// classifier when the VM is confined to a partition); the WithEncryption
+// and WithReplication options wire the complete storage functions.
+type NVMetro struct {
+	h *Host
+	// SharedWorkers > 0 runs one router with that many worker threads
+	// shared by all VMs (the Fig. 5 scalability setup); otherwise each VM
+	// gets its own router worker (the main evaluation setup).
+	SharedWorkers int
+
+	shared *core.Router
+	fw     *uif.Framework
+	setup  func(vc *core.Controller)
+	name   string
+	byVM   map[*vm.VM]*core.Controller
+}
+
+// NewNVMetro creates the basic configuration.
+func NewNVMetro(h *Host) *NVMetro {
+	return &NVMetro{h: h, name: "NVMetro", byVM: make(map[*vm.VM]*core.Controller)}
+}
+
+// NewNVMetroShared creates the shared-worker configuration.
+func NewNVMetroShared(h *Host, workers int) *NVMetro {
+	return &NVMetro{h: h, SharedWorkers: workers, name: "NVMetro", byVM: make(map[*vm.VM]*core.Controller)}
+}
+
+// Name implements Solution.
+func (s *NVMetro) Name() string { return s.name }
+
+func (s *NVMetro) router() *core.Router {
+	if s.SharedWorkers > 0 {
+		if s.shared == nil {
+			var threads []*sim.Thread
+			for i := 0; i < s.SharedWorkers; i++ {
+				threads = append(threads, s.h.HostThread("router"))
+			}
+			s.shared = core.NewRouter(s.h.Env, s.h.Params.Router, threads)
+		}
+		return s.shared
+	}
+	return core.NewRouter(s.h.Env, s.h.Params.Router, []*sim.Thread{s.h.HostThread("router")})
+}
+
+// framework lazily creates the (single-process, multi-VM) UIF framework.
+func (s *NVMetro) framework(threads int) *uif.Framework {
+	if s.fw == nil {
+		var ths []*sim.Thread
+		for i := 0; i < threads; i++ {
+			ths = append(ths, s.h.HostThread("uif"))
+		}
+		s.fw = uif.NewFramework(s.h.Env, s.h.Params.UIF, ths)
+	}
+	return s.fw
+}
+
+// ControllerFor returns the virtual controller provisioned for v (the
+// control-plane handle used to swap classifiers or attach UIFs live).
+func (s *NVMetro) ControllerFor(v *vm.VM) *core.Controller { return s.byVM[v] }
+
+// Provision implements Solution.
+func (s *NVMetro) Provision(v *vm.VM, part device.Partition) vm.Disk {
+	vc := s.router().Attach(v, part)
+	s.byVM[v] = vc
+	if s.setup != nil {
+		s.setup(vc)
+	} else if part.Start != 0 || part.Blocks != part.Dev.Namespace(part.NSID).Info.Size {
+		prog, _ := storfn.PartitionClassifier(part)
+		if err := vc.LoadClassifier(prog); err != nil {
+			panic(err)
+		}
+	}
+	return vm.NewNVMeDisk(v, vc, 128, s.h.Params.Driver)
+}
+
+// WithEncryption configures the transparent-encryption storage function:
+// the encryptor classifier plus a plain or SGX XTS-AES UIF. The paper uses
+// 2 UIF threads for the plain variant and 1 worker + 1 SGX switchless
+// thread for the enclave variant.
+func (s *NVMetro) WithEncryption(key []byte, useSGX bool) *NVMetro {
+	s.name = "NVMetro Encr."
+	if useSGX {
+		s.name = "NVMetro SGX"
+	}
+	s.setup = func(vc *core.Controller) {
+		part := vc.Partition()
+		prog, _ := storfn.EncryptorClassifier(part)
+		if err := vc.LoadClassifier(prog); err != nil {
+			panic(err)
+		}
+		bdev := blockdev.NewNVMeBlockDev(s.h.Env, device.WholeNamespace(part.Dev, part.NSID), s.h.CPU, s.h.guestCores, s.h.Params.Block)
+		ring := blockdev.NewURing(s.h.Env, bdev, s.h.Params.URing)
+		var handler uif.Handler
+		nthreads := 2
+		if useSGX {
+			enclave, err := sgx.Launch(s.h.Env, s.h.CPU, key, sgx.DefaultCosts())
+			if err != nil {
+				panic(err)
+			}
+			handler = storfn.NewSGXEncryptor(enclave, s.h.Params.Enc)
+			nthreads = 1 // 1 UIF worker + the enclave's switchless thread
+		} else {
+			enc, err := storfn.NewEncryptor(key, s.h.Params.Enc)
+			if err != nil {
+				panic(err)
+			}
+			handler = enc
+		}
+		s.framework(nthreads).Attach(vc.AttachUIF(512), handler, ring)
+	}
+	return s
+}
+
+// WithReplication configures live disk replication: the replicator
+// classifier multicasts writes to the local fast path and to a UIF that
+// forwards them to the remote secondary over NVMe-oF. secondary returns
+// the remote block device backing a given local partition.
+func (s *NVMetro) WithReplication(secondary func(part device.Partition) blockdev.BlockDevice) *NVMetro {
+	s.name = "NVMetro Repl."
+	s.setup = func(vc *core.Controller) {
+		part := vc.Partition()
+		prog, _ := storfn.ReplicatorClassifier(part)
+		if err := vc.LoadClassifier(prog); err != nil {
+			panic(err)
+		}
+		ring := blockdev.NewURing(s.h.Env, secondary(part), s.h.Params.URing)
+		s.framework(1).Attach(vc.AttachUIF(512), storfn.NewReplicator(), ring)
+	}
+	return s
+}
+
+// RemoteHost is a second machine holding the replication secondary.
+type RemoteHost struct {
+	Env  *sim.Env
+	CPU  *sim.CPU
+	Dev  *device.Device
+	Link *nvmeof.Link
+	tgt  *nvmeof.Target
+}
+
+// NewRemoteHost builds the remote side of the replication experiments.
+func NewRemoteHost(env *sim.Env, cores int, p device.Params, backing device.Store) *RemoteHost {
+	r := &RemoteHost{Env: env, CPU: sim.NewCPU(env, cores), Link: nvmeof.DefaultLink(env)}
+	r.Dev = device.New(env, p, backing)
+	bdev := blockdev.NewNVMeBlockDev(env, device.WholeNamespace(r.Dev, 1), r.CPU, 0, blockdev.DefaultCosts())
+	r.tgt = nvmeof.NewTarget(env, bdev, r.CPU)
+	return r
+}
+
+// Secondary returns a factory exposing the remote device over the fabric.
+func (r *RemoteHost) Secondary() func(part device.Partition) blockdev.BlockDevice {
+	return func(part device.Partition) blockdev.BlockDevice {
+		return nvmeof.NewInitiator(r.Env, r.Link, r.tgt)
+	}
+}

@@ -1,0 +1,189 @@
+// Package storfn implements the paper's storage functions on top of
+// NVMetro: the transparent-encryption function (eBPF classifier + XTS-AES
+// UIF, with an optional SGX-enclave variant) and the live disk-replication
+// function (classifier + mirroring UIF over NVMe-oF), plus a partition
+// classifier used as the baseline policy.
+//
+// The classifiers are written in eBPF assembly (see internal/ebpf's
+// assembler) and correspond to Listing 1 of the paper, extended with the
+// LBA translation and bounds check that confine a VM to its partition —
+// the "direct mediation" step.
+package storfn
+
+import (
+	"nvmetro/internal/core"
+	"nvmetro/internal/device"
+	"nvmetro/internal/ebpf"
+)
+
+// Classifier context field offsets used by the assembly below (see
+// core.CtxOff*): hook at 0, error at 4, command at 32; within the command,
+// opcode at +0 (ctx 32), SLBA at +40 (ctx 72), CDW12 at +48 (ctx 80).
+
+// partitionSrc is the baseline classifier: confine the VM to its partition
+// (bounds check + LBA translation) and send everything to the fast path.
+const partitionSrc = `
+; partition classifier: translate guest LBAs to device LBAs, fast path only
+	mov   r9, r1            ; r9 = ctx
+	mov   r2, 0
+	stxw  [r10-4], r2       ; key = 0
+	ldmap r1, cfg
+	mov   r2, r10
+	add   r2, -4
+	call  map_lookup_elem
+	jeq   r0, 0, internal
+	ldxdw r6, [r0+0]        ; partition start LBA
+	ldxdw r7, [r0+8]        ; partition size in blocks
+	ldxb  r3, [r9+32]       ; opcode
+	jeq   r3, 0, passthru   ; flush: no LBA
+	ldxdw r4, [r9+72]       ; slba
+	ldxw  r5, [r9+80]       ; cdw12
+	and   r5, 0xffff        ; nlb (0-based)
+	add   r5, 1
+	add   r5, r4            ; end LBA
+	jgt   r5, r7, oob
+	add   r4, r6            ; direct mediation: rewrite the LBA
+	stxdw [r9+72], r4
+passthru:
+	mov   r0, 0x410000      ; SEND_HQ | WILL_COMPLETE_HQ
+	exit
+oob:
+	mov   r0, 0x2000080     ; COMPLETE | LBAOutOfRange
+	exit
+internal:
+	mov   r0, 0x2000006     ; COMPLETE | InternalError
+	exit
+`
+
+// encryptorSrc is the data-encryption classifier (paper Listing 1):
+// reads go to the device first, then to the UIF for decryption; writes go
+// to the UIF, which encrypts and persists them itself.
+const encryptorSrc = `
+; encryptor classifier (Listing 1 + partition mediation)
+	mov   r9, r1            ; r9 = ctx
+	ldxw  r2, [r9+0]        ; current hook
+	jeq   r2, 1, hcq_hook   ; HOOK_HCQ: device read finished
+; --- HOOK_VSQ: new request ---
+	mov   r2, 0
+	stxw  [r10-4], r2
+	ldmap r1, cfg
+	mov   r2, r10
+	add   r2, -4
+	call  map_lookup_elem
+	jeq   r0, 0, internal
+	ldxdw r6, [r0+0]        ; partition start
+	ldxdw r7, [r0+8]        ; partition blocks
+	ldxb  r3, [r9+32]       ; opcode
+	jeq   r3, 0, passthru   ; flush
+	ldxdw r4, [r9+72]       ; slba
+	ldxw  r5, [r9+80]
+	and   r5, 0xffff
+	add   r5, 1
+	add   r5, r4
+	jgt   r5, r7, oob
+	add   r4, r6
+	stxdw [r9+72], r4       ; translate LBA
+	jeq   r3, 2, is_read
+	jeq   r3, 1, is_write
+passthru:
+	mov   r0, 0x410000      ; SEND_HQ | WILL_COMPLETE_HQ
+	exit
+is_read:
+	mov   r0, 0x4090000     ; SEND_HQ | HOOK_HCQ | WAIT_FOR_HOOK
+	exit
+is_write:
+	mov   r0, 0x820000      ; SEND_NQ | WILL_COMPLETE_NQ (UIF encrypts+writes)
+	exit
+hcq_hook:
+	ldxw  r0, [r9+4]        ; device read status
+	jne   r0, 0, dev_err
+	mov   r0, 0x820000      ; ciphertext in guest buffer: UIF decrypts
+	exit
+dev_err:
+	or    r0, 0x2000000     ; forward the error | COMPLETE
+	exit
+oob:
+	mov   r0, 0x2000080     ; COMPLETE | LBAOutOfRange
+	exit
+internal:
+	mov   r0, 0x2000006     ; COMPLETE | InternalError
+	exit
+`
+
+// replicatorSrc is the disk-mirroring classifier: reads are served by the
+// local (primary) disk only; writes go synchronously to both the primary
+// disk and the UIF, which forwards them to the remote secondary.
+const replicatorSrc = `
+; replicator classifier: read local, write both
+	mov   r9, r1
+	mov   r2, 0
+	stxw  [r10-4], r2
+	ldmap r1, cfg
+	mov   r2, r10
+	add   r2, -4
+	call  map_lookup_elem
+	jeq   r0, 0, internal
+	ldxdw r6, [r0+0]
+	ldxdw r7, [r0+8]
+	ldxb  r3, [r9+32]
+	jeq   r3, 0, passthru
+	ldxdw r4, [r9+72]
+	ldxw  r5, [r9+80]
+	and   r5, 0xffff
+	add   r5, 1
+	add   r5, r4
+	jgt   r5, r7, oob
+	add   r4, r6
+	stxdw [r9+72], r4
+	jeq   r3, 1, is_write
+passthru:
+	mov   r0, 0x410000      ; reads and admin: local fast path only
+	exit
+is_write:
+	mov   r0, 0xc30000      ; SEND_HQ|SEND_NQ|WILL_COMPLETE_HQ|WILL_COMPLETE_NQ
+	exit
+oob:
+	mov   r0, 0x2000080
+	exit
+internal:
+	mov   r0, 0x2000006
+	exit
+`
+
+// buildWithConfig assembles src with the partition config map attached.
+func buildWithConfig(src, name string, cfg *ebpf.ArrayMap) *ebpf.Program {
+	return ebpf.MustAssemble(src, name, map[string]ebpf.Map{"cfg": cfg}, nil)
+}
+
+// PartitionClassifier returns the baseline (fast-path-only) classifier for
+// the given partition, plus its live-updatable config map.
+func PartitionClassifier(part device.Partition) (*ebpf.Program, *ebpf.ArrayMap) {
+	cfg := core.NewPartitionConfigMap(part)
+	return buildWithConfig(partitionSrc, "partition", cfg), cfg
+}
+
+// EncryptorClassifier returns the transparent-encryption classifier.
+func EncryptorClassifier(part device.Partition) (*ebpf.Program, *ebpf.ArrayMap) {
+	cfg := core.NewPartitionConfigMap(part)
+	return buildWithConfig(encryptorSrc, "encryptor", cfg), cfg
+}
+
+// ReplicatorClassifier returns the disk-replication classifier.
+func ReplicatorClassifier(part device.Partition) (*ebpf.Program, *ebpf.ArrayMap) {
+	cfg := core.NewPartitionConfigMap(part)
+	return buildWithConfig(replicatorSrc, "replicator", cfg), cfg
+}
+
+// ClassifierSources exposes the assembly sources for Table I (source code
+// size accounting) and for the nvmetro-asm tool's examples.
+func ClassifierSources() map[string]string {
+	out := map[string]string{
+		"partition":  partitionSrc,
+		"encryptor":  encryptorSrc,
+		"replicator": replicatorSrc,
+	}
+	for name, src := range classifierExtra {
+		out[name] = src
+	}
+	return out
+}

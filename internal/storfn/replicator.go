@@ -1,0 +1,41 @@
+package storfn
+
+import (
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+	"nvmetro/internal/uif"
+)
+
+// Replicator is the live disk-replication UIF: the classifier already sent
+// the write to the local primary disk (fast path); this UIF forwards the
+// same write to the remote secondary disk through io_uring over the
+// NVMe-oF initiator. Mirroring is synchronous — the router completes the
+// guest request only when both legs finish — which lets the VM's buffers
+// be reused immediately, as the paper notes.
+type Replicator struct {
+	// CopyRate models pulling the write payload out of guest memory.
+	CopyRate float64
+
+	// Stats
+	Forwarded uint64
+}
+
+// NewReplicator creates the mirroring UIF.
+func NewReplicator() *Replicator { return &Replicator{CopyRate: 10e9} }
+
+// Work implements uif.Handler.
+func (r *Replicator) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, nvme.Status) {
+	if req.Cmd.Opcode() != nvme.OpWrite {
+		// Reads are filtered out by the classifier and never reach us.
+		return false, nvme.SCInvalidOpcode
+	}
+	n := int(req.NBytes())
+	buf := make([]byte, n)
+	if err := req.ReadData(buf); err != nil {
+		return false, nvme.SCDataXferError
+	}
+	th.Exec(p, sim.Duration(float64(n)/r.CopyRate*1e9))
+	r.Forwarded++
+	req.SubmitBackendWrite(p, th, buf)
+	return true, 0
+}

@@ -1,0 +1,217 @@
+package uif_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/core"
+	"nvmetro/internal/device"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+	"nvmetro/internal/storfn"
+	"nvmetro/internal/uif"
+	"nvmetro/internal/vm"
+)
+
+// uifRig wires a router+controller+framework without a full guest driver:
+// tests push commands straight into the virtual submission queue.
+type uifRig struct {
+	env  *sim.Env
+	cpu  *sim.CPU
+	dev  *device.Device
+	vc   *core.Controller
+	qp   *nvme.QueuePair
+	v    *vm.VM
+	fw   *uif.Framework
+	ring *blockdev.URing
+}
+
+func newUIFRig(t *testing.T, threads int, handler uif.Handler) *uifRig {
+	t.Helper()
+	env := sim.New(1)
+	cpu := sim.NewCPU(env, 16)
+	p := device.Default970EvoPlus()
+	p.JitterPct, p.TailProb = 0, 0
+	dev := device.New(env, p, device.NewMemStore(512))
+	router := core.NewRouter(env, core.DefaultRouterCosts(), []*sim.Thread{cpu.ThreadOn(8, "router")})
+	v := vm.New(env, 0, cpu, 0, 1, 32<<20, vm.DefaultVirtCosts())
+	vc := router.Attach(v, device.WholeNamespace(dev, 1))
+	prog, _ := storfn.EncryptorClassifier(vc.Partition())
+	if err := vc.LoadClassifier(prog); err != nil {
+		t.Fatal(err)
+	}
+	var ths []*sim.Thread
+	for i := 0; i < threads; i++ {
+		ths = append(ths, cpu.ThreadOn(9+i, "uif"))
+	}
+	fw := uif.NewFramework(env, uif.DefaultCosts(), ths)
+	bdev := blockdev.NewNVMeBlockDev(env, device.WholeNamespace(dev, 1), cpu, 14, blockdev.DefaultCosts())
+	ring := blockdev.NewURing(env, bdev, blockdev.DefaultURingCosts())
+	fw.Attach(vc.AttachUIF(64), handler, ring)
+	return &uifRig{env: env, cpu: cpu, dev: dev, vc: vc, v: v, fw: fw, ring: ring, qp: vc.CreateQP(64)}
+}
+
+func (r *uifRig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	ok := false
+	r.env.Go("test", func(p *sim.Proc) { fn(p); ok = true; r.env.Stop() })
+	r.env.RunUntil(sim.Time(30 * sim.Second))
+	if !ok {
+		t.Fatal("did not finish")
+	}
+	r.env.Close()
+}
+
+// submit pushes a raw NVMe command into the VSQ and waits for the VCQ.
+func (r *uifRig) submit(p *sim.Proc, cmd nvme.Command) nvme.Status {
+	if !r.qp.SQ.Push(&cmd) {
+		panic("vsq full")
+	}
+	r.vc.Ring(r.qp.SQ.ID)
+	var e nvme.Completion
+	for {
+		if r.qp.CQ.Pop(&e) {
+			return e.Status()
+		}
+		p.Sleep(2 * sim.Microsecond)
+	}
+}
+
+func TestFrameworkEncryptorWriteReadViaRawQueues(t *testing.T) {
+	enc, err := storfn.NewEncryptor(bytes.Repeat([]byte{1}, 64), storfn.DefaultEncryptorCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newUIFRig(t, 2, enc)
+	r.run(t, func(p *sim.Proc) {
+		data := bytes.Repeat([]byte{0xdd}, 512)
+		base, _, _ := r.v.Mem.AllocBuffer(512)
+		r.v.Mem.WriteAt(data, base)
+		w := nvme.NewRW(nvme.OpWrite, 1, 1, 9, 1, base, 0)
+		if st := r.submit(p, w); !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		// Read back through the device+UIF decrypt path.
+		r.v.Mem.WriteAt(make([]byte, 512), base)
+		rd := nvme.NewRW(nvme.OpRead, 2, 1, 9, 1, base, 0)
+		if st := r.submit(p, rd); !st.OK() {
+			t.Fatalf("read: %v", st)
+		}
+		got := make([]byte, 512)
+		r.v.Mem.ReadAt(got, base)
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip through framework failed")
+		}
+	})
+	if enc.Reads != 1 || enc.Writes != 1 {
+		t.Fatalf("handler stats %d/%d", enc.Reads, enc.Writes)
+	}
+}
+
+func TestFrameworkAdaptivePollingParks(t *testing.T) {
+	enc, _ := storfn.NewEncryptor(make([]byte, 32), storfn.DefaultEncryptorCosts())
+	r := newUIFRig(t, 1, enc)
+	var busyActive, busyIdle sim.Duration
+	r.run(t, func(p *sim.Proc) {
+		base, _, _ := r.v.Mem.AllocBuffer(512)
+		snap := r.cpu.Snapshot()
+		for i := 0; i < 10; i++ {
+			w := nvme.NewRW(nvme.OpWrite, uint16(i), 1, uint64(i), 1, base, 0)
+			r.submit(p, w)
+		}
+		busyActive = r.cpu.Since(snap).ByTag["uif"]
+		// Idle for a long stretch: the poller must park after IdlePark.
+		snap = r.cpu.Snapshot()
+		p.Sleep(50 * sim.Millisecond)
+		busyIdle = r.cpu.Since(snap).ByTag["uif"]
+	})
+	if busyActive == 0 {
+		t.Fatal("UIF did no work")
+	}
+	// While idle the poller spins only IdlePark (50us) before sleeping.
+	if busyIdle > 200*sim.Microsecond {
+		t.Fatalf("UIF burned %v while idle; adaptive polling broken", busyIdle)
+	}
+}
+
+// multiHandler records which VM each event came from.
+type multiHandler struct{ events map[int]int }
+
+func (m *multiHandler) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, nvme.Status) {
+	m.events[req.Attachment().VMID()]++
+	return false, nvme.SCSuccess
+}
+
+// VMID passthrough requires the attachment; check the single-process
+// multi-VM claim: one framework, several attachments, all served.
+func TestFrameworkServesMultipleVMs(t *testing.T) {
+	env := sim.New(1)
+	cpu := sim.NewCPU(env, 16)
+	p := device.Default970EvoPlus()
+	p.JitterPct, p.TailProb = 0, 0
+	dev := device.New(env, p, device.NullStore{})
+	router := core.NewRouter(env, core.DefaultRouterCosts(), []*sim.Thread{cpu.ThreadOn(8, "router")})
+	fw := uif.NewFramework(env, uif.DefaultCosts(), []*sim.Thread{cpu.ThreadOn(9, "uif")})
+	h := &multiHandler{events: map[int]int{}}
+
+	type ep struct {
+		vc *core.Controller
+		qp *nvme.QueuePair
+	}
+	var eps []ep
+	parts := device.Carve(dev, 1, 3)
+	for i := 0; i < 3; i++ {
+		v := vm.New(env, i, cpu, i, 1, 16<<20, vm.DefaultVirtCosts())
+		vc := router.Attach(v, parts[i])
+		// Send everything to the notify path.
+		prog, _ := storfn.EncryptorClassifier(parts[i])
+		if err := vc.LoadClassifier(prog); err != nil {
+			t.Fatal(err)
+		}
+		fw.Attach(vc.AttachUIF(32), h, nil)
+		eps = append(eps, ep{vc: vc, qp: vc.CreateQP(32)})
+	}
+	ok := false
+	env.Go("test", func(pr *sim.Proc) {
+		defer env.Stop()
+		for i, e := range eps {
+			// Writes go to the UIF; it completes them via handler.
+			base := uint64(0x4000)
+			cmd := nvme.NewRW(nvme.OpWrite, uint16(i), 1, 0, 1, base, 0)
+			if !e.qp.SQ.Push(&cmd) {
+				t.Error("push failed")
+				return
+			}
+			e.vc.Ring(e.qp.SQ.ID)
+		}
+		var e nvme.Completion
+		got := 0
+		for got < 3 {
+			for _, ept := range eps {
+				if ept.qp.CQ.Pop(&e) {
+					got++
+				}
+			}
+			pr.Sleep(5 * sim.Microsecond)
+		}
+		ok = true
+	})
+	env.RunUntil(sim.Time(10 * sim.Second))
+	env.Close()
+	if !ok {
+		t.Fatal("did not finish")
+	}
+	if len(h.events) != 3 {
+		t.Fatalf("handler saw VMs %v, want 3 distinct", h.events)
+	}
+}
+
+func TestFrameworkLoC(t *testing.T) {
+	n := uif.FrameworkLines()
+	// The paper's framework is ~1100 lines of C++; ours should be of the
+	// same order (a few hundred Go lines).
+	if n < 150 || n > 2000 {
+		t.Fatalf("framework line count %d implausible", n)
+	}
+}

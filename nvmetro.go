@@ -1,0 +1,289 @@
+// Package nvmetro is the public API of the NVMetro reproduction: a flexible
+// NVMe request-routing framework for virtual machines (Tu Dinh Ngoc et al.,
+// IPDPS 2024), built as a deterministic full-system simulation.
+//
+// The package wraps the internal subsystems behind a small facade:
+//
+//	sys := nvmetro.NewSystem(nvmetro.Defaults())
+//	vm1 := sys.NewVM(4, 64<<20)
+//	disk := sys.AttachNVMetro(vm1, sys.WholeDisk())
+//	res := sys.RunFIO(nvmetro.FIOConfig{...}, disk.Targets(1))
+//
+// Storage functions (transparent encryption, live replication) attach with
+// one call, custom eBPF classifiers can be assembled from text and loaded
+// live, and every table/figure of the paper's evaluation can be regenerated
+// through RunExperiment.
+package nvmetro
+
+import (
+	"fmt"
+	"io"
+
+	"nvmetro/internal/core"
+	"nvmetro/internal/device"
+	"nvmetro/internal/ebpf"
+	"nvmetro/internal/fio"
+	"nvmetro/internal/harness"
+	"nvmetro/internal/sim"
+	"nvmetro/internal/stack"
+	"nvmetro/internal/vm"
+)
+
+// Re-exported core types. The aliases make the internal packages' documented
+// types reachable through the public API.
+type (
+	// Env is the discrete-event simulation environment.
+	Env = sim.Env
+	// Proc is a simulated process (guest program, host thread, ...).
+	Proc = sim.Proc
+	// Duration is virtual time in nanoseconds.
+	Duration = sim.Duration
+	// Time is an absolute virtual timestamp.
+	Time = sim.Time
+
+	// VM is a virtual machine with guest memory and vCPUs.
+	VM = vm.VM
+	// Disk is the guest-visible asynchronous block device.
+	Disk = vm.Disk
+	// Req is one guest block request.
+	Req = vm.Req
+
+	// Controller is NVMetro's virtual NVMe controller for one VM.
+	Controller = core.Controller
+	// Router is the NVMetro I/O router.
+	Router = core.Router
+	// NotifyQueues is the notify-path endpoint consumed by UIFs.
+	NotifyQueues = core.NotifyQueues
+
+	// Program is a verified-or-not eBPF classifier program.
+	Program = ebpf.Program
+	// ClassifierBuilder assembles classifiers from Go.
+	ClassifierBuilder = ebpf.Builder
+
+	// Device is the simulated NVMe SSD.
+	Device = device.Device
+	// Partition is an LBA window of a namespace.
+	Partition = device.Partition
+
+	// FIOConfig configures a fio-equivalent run.
+	FIOConfig = fio.Config
+	// FIOResult carries throughput, latency and CPU results.
+	FIOResult = fio.Result
+	// FIOTarget places one fio job.
+	FIOTarget = fio.Target
+)
+
+// Convenient duration units (virtual time).
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// fio workload modes.
+const (
+	RandRead  = fio.RandRead
+	RandWrite = fio.RandWrite
+	RandRW    = fio.RandRW
+	SeqRead   = fio.SeqRead
+	SeqWrite  = fio.SeqWrite
+	SeqRW     = fio.SeqRW
+)
+
+// Config configures a System.
+type Config struct {
+	// Seed makes the whole simulation deterministic.
+	Seed int64
+	// Cores is the host core count (the paper's server has 12).
+	Cores int
+	// GuestCores are reserved for vCPUs.
+	GuestCores int
+	// Backing selects how the simulated SSD stores data: BackingMem keeps
+	// full contents (required for data-integrity work), BackingNull is the
+	// cheapest for pure benchmarking.
+	Backing device.BackingMode
+	// Params exposes every calibration constant.
+	Params stack.Params
+}
+
+// Defaults returns the calibrated testbed configuration.
+func Defaults() Config {
+	return Config{
+		Seed:       1,
+		Cores:      12,
+		GuestCores: 4,
+		Backing:    device.BackingMem,
+		Params:     stack.DefaultParams(),
+	}
+}
+
+// System is a complete simulated testbed: host machine, NVMe device and
+// the NVMetro router, ready to attach VMs and storage functions.
+type System struct {
+	Env  *sim.Env
+	Host *stack.Host
+	cfg  Config
+}
+
+// NewSystem builds a testbed.
+func NewSystem(cfg Config) *System {
+	env := sim.New(cfg.Seed)
+	h := stack.NewHost(env, cfg.Cores, cfg.GuestCores, cfg.Params, device.NewStore(cfg.Backing, cfg.Params.Device.BlockSize()))
+	return &System{Env: env, Host: h, cfg: cfg}
+}
+
+// Close releases all simulated processes.
+func (s *System) Close() { s.Env.Close() }
+
+// DeviceUnderTest returns the host's NVMe device.
+func (s *System) DeviceUnderTest() *Device { return s.Host.Dev }
+
+// WholeDisk returns a partition covering the device's first namespace.
+func (s *System) WholeDisk() Partition { return device.WholeNamespace(s.Host.Dev, 1) }
+
+// CarveDisk splits the namespace into n equal partitions.
+func (s *System) CarveDisk(n int) []Partition { return device.Carve(s.Host.Dev, 1, n) }
+
+// NewVM creates a VM with the given vCPU count and memory size.
+func (s *System) NewVM(vcpus int, memBytes uint64) *VM {
+	return s.Host.NewVM(vcpus, memBytes)
+}
+
+// AttachedDisk couples a provisioned disk with its VM for workload helpers.
+type AttachedDisk struct {
+	VM   *VM
+	Disk Disk
+	Ctrl *Controller // nil for non-NVMetro solutions
+}
+
+// Targets builds fio job placements on the first n vCPUs.
+func (d *AttachedDisk) Targets(n int) []FIOTarget {
+	var out []FIOTarget
+	for i := 0; i < n; i++ {
+		out = append(out, FIOTarget{Disk: d.Disk, VM: d.VM, VCPU: d.VM.VCPU(i % d.VM.NumVCPUs())})
+	}
+	return out
+}
+
+// AttachNVMetro gives the VM an NVMetro virtual controller over part, with
+// the default fast-path classifier (partition-confining when part is a true
+// partition).
+func (s *System) AttachNVMetro(v *VM, part Partition) *AttachedDisk {
+	sol := stack.NewNVMetro(s.Host)
+	disk := sol.Provision(v, part)
+	return &AttachedDisk{VM: v, Disk: disk}
+}
+
+// AttachEncrypted provisions an NVMetro disk with the transparent
+// XTS-AES encryption storage function (classifier + UIF). Set useSGX for
+// the enclave-backed variant.
+func (s *System) AttachEncrypted(v *VM, part Partition, key []byte, useSGX bool) *AttachedDisk {
+	sol := stack.NewNVMetro(s.Host).WithEncryption(key, useSGX)
+	disk := sol.Provision(v, part)
+	return &AttachedDisk{VM: v, Disk: disk}
+}
+
+// RemoteHost is a second machine reachable over a simulated NVMe-oF fabric.
+type RemoteHost = stack.RemoteHost
+
+// NewRemoteHost creates the remote machine for replication setups, with its
+// own CPU, NVMe drive and fabric link back to this host.
+func (s *System) NewRemoteHost(cores int) *RemoteHost {
+	mode := s.cfg.Backing
+	return stack.NewRemoteHost(s.Env, cores, s.cfg.Params.Device, device.NewStore(mode, s.cfg.Params.Device.BlockSize()))
+}
+
+// AttachReplicated provisions an NVMetro disk with the live-replication
+// storage function: reads local, writes mirrored synchronously to remote.
+func (s *System) AttachReplicated(v *VM, part Partition, remote *RemoteHost) *AttachedDisk {
+	sol := stack.NewNVMetro(s.Host).WithReplication(remote.Secondary())
+	disk := sol.Provision(v, part)
+	return &AttachedDisk{VM: v, Disk: disk}
+}
+
+// Baseline names accepted by AttachBaseline.
+const (
+	BaselineMDev        = "mdev"
+	BaselinePassthrough = "passthrough"
+	BaselineQEMU        = "qemu"
+	BaselineVhostSCSI   = "vhost-scsi"
+	BaselineSPDK        = "spdk"
+)
+
+// AttachBaseline provisions one of the paper's comparison stacks.
+func (s *System) AttachBaseline(name string, v *VM, part Partition) (*AttachedDisk, error) {
+	var sol stack.Solution
+	switch name {
+	case BaselineMDev:
+		sol = stack.NewMDev(s.Host)
+	case BaselinePassthrough:
+		sol = stack.NewPassthrough(s.Host)
+	case BaselineQEMU:
+		sol = stack.NewQEMU(s.Host)
+	case BaselineVhostSCSI:
+		sol = stack.NewVhostSCSI(s.Host)
+	case BaselineSPDK:
+		sol = stack.NewSPDK(s.Host)
+	default:
+		return nil, fmt.Errorf("nvmetro: unknown baseline %q", name)
+	}
+	return &AttachedDisk{VM: v, Disk: sol.Provision(v, part)}, nil
+}
+
+// RunFIO executes a fio-equivalent workload and returns its results. It
+// drives the simulation itself; call from normal (non-process) context.
+func (s *System) RunFIO(cfg FIOConfig, targets []FIOTarget) FIOResult {
+	return fio.Run(s.Env, s.Host.CPU, targets, cfg)
+}
+
+// Run executes fn as a simulated guest program and drives the simulation
+// until it finishes (or the virtual deadline passes). It reports whether fn
+// completed.
+func (s *System) Run(deadline Duration, fn func(p *Proc)) bool {
+	done := false
+	s.Env.Go("user", func(p *sim.Proc) {
+		fn(p)
+		done = true
+		s.Env.Stop()
+	})
+	s.Env.RunUntil(s.Env.Now().Add(deadline))
+	return done
+}
+
+// AssembleClassifier assembles eBPF classifier source text (see
+// internal/ebpf's assembler syntax) with the given named maps.
+func AssembleClassifier(src, name string, maps map[string]ebpf.Map) (*Program, error) {
+	return ebpf.Assemble(src, name, maps, nil)
+}
+
+// NewConfigMap creates the standard partition config map (entry 0 holds
+// {startLBA u64, blocks u64}) used by the shipped classifiers.
+func NewConfigMap(part Partition) *ebpf.ArrayMap {
+	return core.NewPartitionConfigMap(part)
+}
+
+// VerifyClassifier runs the router's verifier over a program.
+func VerifyClassifier(p *Program) error { return core.NewVerifier().Verify(p) }
+
+// Experiments lists the reproducible paper artifacts (tables and figures).
+func Experiments() []string {
+	var ids []string
+	for _, e := range harness.List() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one paper table/figure, writing rendered tables
+// to w. quick trims the grid for fast runs.
+func RunExperiment(id string, quick bool, seed int64, w io.Writer) error {
+	e, ok := harness.Get(id)
+	if !ok {
+		return fmt.Errorf("nvmetro: unknown experiment %q (have %v)", id, Experiments())
+	}
+	for _, tab := range e.Run(harness.Options{Quick: quick, Seed: seed}) {
+		tab.Fprint(w)
+	}
+	return nil
+}
