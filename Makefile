@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test fmt bench
+
+# check is the CI gate: build, vet, race-enabled tests, and gofmt
+# cleanliness (fails listing the offending files).
+check: build vet test fmt
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem

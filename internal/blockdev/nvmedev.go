@@ -39,6 +39,32 @@ func (p *dmaPool) put(pages []uint64) {
 	p.free[len(pages)] = append(p.free[len(pages)], pages)
 }
 
+// Recovery is the host driver's error-recovery policy: a per-command
+// deadline with abort and bounded, exponentially backed-off resubmission —
+// the sim equivalent of the kernel's nvme_timeout/abort/reset ladder. A
+// timed-out CID is quarantined (not reused) until its late completion
+// arrives or the reclaim window expires, so stale completions cannot be
+// misattributed to a new command on the same tag.
+type Recovery struct {
+	Timeout    sim.Duration // per-command deadline (0 disables recovery)
+	MaxRetries int          // resubmissions after a timeout before failing the bio
+	Backoff    sim.Duration // first retry delay; doubles per attempt
+	Reclaim    sim.Duration // quarantine before a lost CID may be reused
+}
+
+// DefaultRecovery returns a conservative policy: a deadline far above any
+// loaded-device latency (bandwidth-bound sequential writes at QD512 can
+// legitimately queue for ~20 ms in the model), so it only ever fires on
+// genuinely lost completions. Fault experiments install tighter policies.
+func DefaultRecovery() Recovery {
+	return Recovery{
+		Timeout:    100 * sim.Millisecond,
+		MaxRetries: 3,
+		Backoff:    100 * sim.Microsecond,
+		Reclaim:    200 * sim.Millisecond,
+	}
+}
+
 // NVMeBlockDev is the host NVMe driver's block device: bios are translated
 // to NVMe commands on a dedicated host queue pair, data is bounced through
 // kernel DMA buffers, and completions are handled in a simulated interrupt
@@ -49,6 +75,7 @@ type NVMeBlockDev struct {
 	nsid     uint32
 	part     device.Partition
 	costs    Costs
+	rec      Recovery
 	qp       *nvme.QueuePair
 	hostmem  *guestmem.Memory
 	pool     *dmaPool
@@ -59,8 +86,18 @@ type NVMeBlockDev struct {
 	waitCID  *sim.Cond
 	shift    uint8
 
+	lost      map[uint16]sim.Time // quarantined CIDs: timed out, completion pending
+	retryQ    []*pendingBio
+	retryCond *sim.Cond
+
 	// Stats
 	Submitted, Completed uint64
+	Timeouts             uint64 // commands that hit their deadline
+	Retries              uint64 // resubmissions after a timeout
+	Aborts               uint64 // bios failed after exhausting retries
+	Stale                uint64 // late completions for quarantined CIDs
+	Reclaimed            uint64 // quarantined CIDs recycled without a completion
+	PRPErrors            uint64 // bios failed at PRP build
 }
 
 type pendingBio struct {
@@ -68,6 +105,8 @@ type pendingBio struct {
 	pages     []uint64
 	listPages []uint64
 	base      uint64
+	cmd       nvme.Command // retryable command image (CID rewritten per attempt)
+	attempts  int          // submissions so far
 }
 
 // NewNVMeBlockDev creates the host block device over a partition of the
@@ -87,6 +126,10 @@ func NewNVMeBlockDev(env *sim.Env, part device.Partition, cpu *sim.CPU, irqCore 
 		inflight: make(map[uint16]*pendingBio),
 		waitCID:  sim.NewCond(env),
 		shift:    part.Dev.Params().LBAShift,
+
+		rec:       DefaultRecovery(),
+		lost:      make(map[uint16]sim.Time),
+		retryCond: sim.NewCond(env),
 	}
 	d.qp = part.Dev.CreateQueuePair(1024, hostmem)
 	for i := uint16(0); i < 1023; i++ {
@@ -94,8 +137,15 @@ func NewNVMeBlockDev(env *sim.Env, part device.Partition, cpu *sim.CPU, irqCore 
 	}
 	d.qp.CQ.OnPost = func() { d.irqCond.Signal(nil) }
 	env.Go(fmt.Sprintf("kernel/nvme-irq-ns%d", part.NSID), d.irqLoop)
+	env.Go(fmt.Sprintf("kernel/nvme-retry-ns%d", part.NSID), d.retryLoop)
 	return d
 }
+
+// SetRecovery replaces the error-recovery policy (before or between I/O).
+func (d *NVMeBlockDev) SetRecovery(rec Recovery) { d.rec = rec }
+
+// Recovery returns the active error-recovery policy.
+func (d *NVMeBlockDev) Recovery() Recovery { return d.rec }
 
 // NumSectors implements BlockDevice.
 func (d *NVMeBlockDev) NumSectors() uint64 {
@@ -153,16 +203,103 @@ func (d *NVMeBlockDev) SubmitBio(p *sim.Proc, thread *sim.Thread, b *Bio) {
 			return pg[0]
 		})
 		if err != nil {
-			panic(err)
+			// A malformed transfer fails this one bio, not the whole sim.
+			d.PRPErrors++
+			d.releaseDMA(pend)
+			d.freeCIDs = append(d.freeCIDs, cid)
+			d.waitCID.Signal(nil)
+			if b.OnDone != nil {
+				b.OnDone(nvme.SCInternal)
+			}
+			return
 		}
 		cmd = nvme.NewRW(op, cid, d.nsid, d.lba(b.Sector), blocks, prp1, prp2)
 	}
+	pend.cmd = cmd
+	d.push(cid, pend)
+}
+
+// push installs pend under cid, submits its command and arms the deadline.
+func (d *NVMeBlockDev) push(cid uint16, pend *pendingBio) {
+	pend.attempts++
+	pend.cmd.SetCID(cid)
 	d.inflight[cid] = pend
-	if !d.qp.SQ.Push(&cmd) {
-		panic("blockdev: SQ full after check")
+	for !d.qp.SQ.Push(&pend.cmd) {
+		// SQ full despite the free-CID gate: back off and retry rather
+		// than panicking; the next completion drains the queue.
+		d.waitCID.Wait()
 	}
 	d.Submitted++
 	d.dev.Ring(d.qp.SQ.ID)
+	d.armDeadline(cid, pend)
+}
+
+// armDeadline schedules the timeout check for the current attempt.
+func (d *NVMeBlockDev) armDeadline(cid uint16, pend *pendingBio) {
+	if d.rec.Timeout <= 0 {
+		return
+	}
+	attempt := pend.attempts
+	d.env.After(d.rec.Timeout, func() {
+		if d.inflight[cid] == pend && pend.attempts == attempt {
+			d.onTimeout(cid, pend)
+		}
+	})
+}
+
+// onTimeout aborts a command that missed its deadline: the CID is
+// quarantined against late completions and the command is either
+// resubmitted after exponential backoff or failed to the bio issuer.
+// Runs in scheduler callback context (non-blocking).
+func (d *NVMeBlockDev) onTimeout(cid uint16, pend *pendingBio) {
+	d.Timeouts++
+	delete(d.inflight, cid)
+	d.quarantine(cid)
+	if pend.attempts > d.rec.MaxRetries {
+		d.Aborts++
+		d.finishBio(pend, nvme.SCAbortRequested)
+		return
+	}
+	backoff := d.rec.Backoff << (pend.attempts - 1)
+	d.env.After(backoff, func() {
+		d.retryQ = append(d.retryQ, pend)
+		d.retryCond.Signal(nil)
+	})
+}
+
+// quarantine parks a lost CID until its completion shows up or the reclaim
+// window expires (the stand-in for a queue reset reclaiming tags).
+func (d *NVMeBlockDev) quarantine(cid uint16) {
+	since := d.env.Now()
+	d.lost[cid] = since
+	d.env.After(d.rec.Reclaim, func() {
+		if t, ok := d.lost[cid]; ok && t == since {
+			delete(d.lost, cid)
+			d.Reclaimed++
+			d.freeCIDs = append(d.freeCIDs, cid)
+			d.waitCID.Signal(nil)
+		}
+	})
+}
+
+// retryLoop resubmits timed-out commands once their backoff elapses.
+func (d *NVMeBlockDev) retryLoop(p *sim.Proc) {
+	for {
+		if len(d.retryQ) == 0 {
+			d.retryCond.Wait()
+			continue
+		}
+		pend := d.retryQ[0]
+		d.retryQ = d.retryQ[1:]
+		d.irq.Exec(p, d.costs.Submit)
+		for len(d.freeCIDs) == 0 || d.qp.SQ.Full() {
+			d.waitCID.Wait()
+		}
+		cid := d.freeCIDs[len(d.freeCIDs)-1]
+		d.freeCIDs = d.freeCIDs[:len(d.freeCIDs)-1]
+		d.Retries++
+		d.push(cid, pend)
+	}
 }
 
 func (d *NVMeBlockDev) irqLoop(p *sim.Proc) {
@@ -173,32 +310,54 @@ func (d *NVMeBlockDev) irqLoop(p *sim.Proc) {
 			d.irq.Exec(p, d.costs.Complete)
 			cid := e.CID()
 			pend := d.inflight[cid]
+			if pend == nil {
+				// A completion for a CID we no longer track: either the
+				// late arrival of a timed-out command (release its
+				// quarantined tag) or entirely unknown (ignore).
+				if _, ok := d.lost[cid]; ok {
+					delete(d.lost, cid)
+					d.Stale++
+					d.freeCIDs = append(d.freeCIDs, cid)
+					d.waitCID.Signal(nil)
+				}
+				continue
+			}
 			delete(d.inflight, cid)
 			d.freeCIDs = append(d.freeCIDs, cid)
 			d.waitCID.Signal(nil)
-			if pend == nil {
-				continue
-			}
-			if pend.bio.Op == BioRead && e.Status().OK() {
-				for i, pg := range pend.pages {
-					off := i * guestmem.PageSize
-					end := off + guestmem.PageSize
-					if end > len(pend.bio.Data) {
-						end = len(pend.bio.Data)
-					}
-					d.hostmem.ReadAt(pend.bio.Data[off:end], pg)
-				}
-			}
-			if pend.pages != nil {
-				d.pool.put(pend.pages)
-			}
-			for _, lp := range pend.listPages {
-				d.pool.put([]uint64{lp})
-			}
-			d.Completed++
-			if pend.bio.OnDone != nil {
-				pend.bio.OnDone(e.Status())
-			}
+			d.finishBio(pend, e.Status())
 		}
 	}
+}
+
+// finishBio copies read data back, releases DMA resources and reports the
+// final status. Safe from both process and callback context.
+func (d *NVMeBlockDev) finishBio(pend *pendingBio, st nvme.Status) {
+	if pend.bio.Op == BioRead && st.OK() {
+		for i, pg := range pend.pages {
+			off := i * guestmem.PageSize
+			end := off + guestmem.PageSize
+			if end > len(pend.bio.Data) {
+				end = len(pend.bio.Data)
+			}
+			d.hostmem.ReadAt(pend.bio.Data[off:end], pg)
+		}
+	}
+	d.releaseDMA(pend)
+	d.Completed++
+	if pend.bio.OnDone != nil {
+		pend.bio.OnDone(st)
+	}
+}
+
+// releaseDMA returns the pending bio's bounce and PRP-list pages.
+func (d *NVMeBlockDev) releaseDMA(pend *pendingBio) {
+	if pend.pages != nil {
+		d.pool.put(pend.pages)
+		pend.pages = nil
+	}
+	for _, lp := range pend.listPages {
+		d.pool.put([]uint64{lp})
+	}
+	pend.listPages = nil
 }

@@ -1,0 +1,106 @@
+package blockdev_test
+
+import (
+	"testing"
+
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/device"
+	"nvmetro/internal/fault"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+)
+
+// faultBed is bed() with a fault plan injected at the device and a tight
+// recovery policy so timeouts resolve in microseconds, not milliseconds.
+func faultBed(plan *fault.Plan) (*sim.Env, *blockdev.NVMeBlockDev, *sim.Thread) {
+	env := sim.New(1)
+	cpu := sim.NewCPU(env, 4)
+	p := device.Default970EvoPlus()
+	p.JitterPct, p.TailProb = 0, 0
+	dev := device.New(env, p, device.NewMemStore(512))
+	dev.InjectFaults(plan.Injector("device"))
+	bdev := blockdev.NewNVMeBlockDev(env, device.WholeNamespace(dev, 1), cpu, 3, blockdev.DefaultCosts())
+	bdev.SetRecovery(blockdev.Recovery{
+		Timeout:    500 * sim.Microsecond,
+		MaxRetries: 3,
+		Backoff:    50 * sim.Microsecond,
+		Reclaim:    2 * sim.Millisecond,
+	})
+	return env, bdev, cpu.ThreadOn(0, "test")
+}
+
+// A dropped completion must trigger the deadline, and the bounded retry
+// must succeed once the fault budget is exhausted.
+func TestTimeoutRetrySucceeds(t *testing.T) {
+	env, bdev, th := faultBed(fault.NewPlan(1).WithDrops(1, 2))
+	runP(t, env, func(p *sim.Proc) {
+		st := wait(p, th, bdev, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)})
+		if !st.OK() {
+			t.Fatalf("write after retries: %v", st)
+		}
+	})
+	if bdev.Timeouts != 2 || bdev.Retries != 2 {
+		t.Fatalf("timeouts=%d retries=%d, want 2/2", bdev.Timeouts, bdev.Retries)
+	}
+	if bdev.Aborts != 0 || bdev.Completed != 1 {
+		t.Fatalf("aborts=%d completed=%d", bdev.Aborts, bdev.Completed)
+	}
+}
+
+// With every completion dropped, the bio must fail with AbortRequested
+// after MaxRetries resubmissions — never hang.
+func TestTimeoutExhaustsRetries(t *testing.T) {
+	env, bdev, th := faultBed(fault.NewPlan(1).WithDrops(1, 0))
+	runP(t, env, func(p *sim.Proc) {
+		st := wait(p, th, bdev, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)})
+		if st != nvme.SCAbortRequested {
+			t.Fatalf("status %v, want AbortRequested", st)
+		}
+	})
+	if bdev.Timeouts != 4 || bdev.Retries != 3 || bdev.Aborts != 1 {
+		t.Fatalf("timeouts=%d retries=%d aborts=%d, want 4/3/1", bdev.Timeouts, bdev.Retries, bdev.Aborts)
+	}
+}
+
+// A stuck completion arrives after the deadline: the retry completes the
+// bio, and the late original is absorbed by the CID quarantine rather than
+// being misattributed.
+func TestStuckCompletionCountedStale(t *testing.T) {
+	env, bdev, th := faultBed(fault.NewPlan(1).WithStuck(1, 1, sim.Millisecond))
+	// Leave headroom above the deadline for the retry even if the device
+	// head-of-line blocks behind the stuck original's hold time.
+	rec := bdev.Recovery()
+	rec.Timeout = 600 * sim.Microsecond
+	bdev.SetRecovery(rec)
+	runP(t, env, func(p *sim.Proc) {
+		st := wait(p, th, bdev, &blockdev.Bio{Op: blockdev.BioRead, Sector: 8, Data: make([]byte, 4096)})
+		if !st.OK() {
+			t.Fatalf("read: %v", st)
+		}
+		// Let the stuck original surface.
+		p.Sleep(5 * sim.Millisecond)
+	})
+	if bdev.Timeouts != 1 || bdev.Retries != 1 {
+		t.Fatalf("timeouts=%d retries=%d, want 1/1", bdev.Timeouts, bdev.Retries)
+	}
+	if bdev.Stale != 1 || bdev.Reclaimed != 0 {
+		t.Fatalf("stale=%d reclaimed=%d, want 1/0", bdev.Stale, bdev.Reclaimed)
+	}
+}
+
+// Media errors are final statuses, not lost completions: they propagate to
+// the issuer without consuming the retry budget.
+func TestMediaErrorPropagates(t *testing.T) {
+	env, bdev, th := faultBed(fault.NewPlan(1).WithMediaErrors(1))
+	runP(t, env, func(p *sim.Proc) {
+		if st := wait(p, th, bdev, &blockdev.Bio{Op: blockdev.BioRead, Sector: 0, Data: make([]byte, 4096)}); st != nvme.SCUnrecoveredRead {
+			t.Fatalf("read: %v", st)
+		}
+		if st := wait(p, th, bdev, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 0, Data: make([]byte, 4096)}); st != nvme.SCWriteFault {
+			t.Fatalf("write: %v", st)
+		}
+	})
+	if bdev.Timeouts != 0 || bdev.Retries != 0 {
+		t.Fatalf("media errors consumed recovery: timeouts=%d retries=%d", bdev.Timeouts, bdev.Retries)
+	}
+}

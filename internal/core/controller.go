@@ -73,8 +73,67 @@ type vqState struct {
 	hqp        *nvme.QueuePair
 	irq        func()
 	htags      []hop
+	htagSeq    []uint64 // dispatch epoch per tag, guards stale deadline entries
 	freeHTags  []uint16
 	pendingVCQ []nvme.Completion
+
+	dispatchSeq uint64
+	deadlines   []hqDeadline // FIFO: uniform deadlines, submission order
+	lostHTags   []lostTag    // FIFO: quarantined tags awaiting completion
+}
+
+// hqDeadline is one armed fast-path deadline.
+type hqDeadline struct {
+	cid uint16
+	seq uint64
+	at  sim.Time
+}
+
+// lostTag is one quarantined host tag.
+type lostTag struct {
+	cid   uint16
+	since sim.Time
+}
+
+// releaseLost frees cid if it is quarantined (its late completion arrived).
+func (vq *vqState) releaseLost(cid uint16) {
+	for i, lt := range vq.lostHTags {
+		if lt.cid == cid {
+			vq.lostHTags = append(vq.lostHTags[:i], vq.lostHTags[i+1:]...)
+			vq.freeHTags = append(vq.freeHTags, cid)
+			return
+		}
+	}
+}
+
+// expireDeadlines pops overdue fast-path hops — quarantining their tags —
+// and recycles quarantined tags past the reclaim window. It returns the
+// aborted hops for the worker to fail with SCAbortRequested.
+func (vq *vqState) expireDeadlines(r *Router) []hop {
+	if r.FastPathDeadline <= 0 {
+		return nil
+	}
+	now := r.env.Now()
+	var aborted []hop
+	for len(vq.deadlines) > 0 && vq.deadlines[0].at <= now {
+		ent := vq.deadlines[0]
+		vq.deadlines = vq.deadlines[1:]
+		if vq.htagSeq[ent.cid] != ent.seq || vq.htags[ent.cid].req == nil {
+			continue // hop already completed (tag free or reassigned)
+		}
+		h := vq.htags[ent.cid]
+		vq.htags[ent.cid] = hop{}
+		vq.lostHTags = append(vq.lostHTags, lostTag{cid: ent.cid, since: now})
+		r.HQTimeouts++
+		aborted = append(aborted, h)
+	}
+	for len(vq.lostHTags) > 0 && now.Sub(vq.lostHTags[0].since) >= r.HTagReclaim {
+		lt := vq.lostHTags[0]
+		vq.lostHTags = vq.lostHTags[1:]
+		vq.freeHTags = append(vq.freeHTags, lt.cid)
+		r.HTagsReclaimed++
+	}
+	return aborted
 }
 
 // Controller is the virtual NVMe controller NVMetro exposes to one VM,
@@ -134,6 +193,14 @@ func (r *Router) allControllers() []*Controller {
 
 // VM returns the attached VM.
 func (vc *Controller) VM() *vm.VM { return vc.vm }
+
+// Router returns the router servicing this controller (for policy tuning
+// and error-counter inspection).
+func (vc *Controller) Router() *Router { return vc.router }
+
+// Outstanding returns the number of guest commands accepted but not yet
+// completed — zero once every submission has produced a VCQ entry.
+func (vc *Controller) Outstanding() int { return vc.outstanding }
 
 // Partition returns the backing partition.
 func (vc *Controller) Partition() device.Partition { return vc.part }
@@ -197,12 +264,13 @@ func (vc *Controller) IdentifyController() nvme.ControllerInfo {
 func (vc *Controller) CreateQP(depth uint32) *nvme.QueuePair {
 	vc.nextQID++
 	vq := &vqState{
-		vc:    vc,
-		qid:   vc.nextQID,
-		vsq:   nvme.NewSQ(vc.nextQID, depth),
-		vcq:   nvme.NewCQ(vc.nextQID, depth),
-		hqp:   vc.part.Dev.CreateQueuePair(depth, vc.vm.Mem),
-		htags: make([]hop, depth),
+		vc:      vc,
+		qid:     vc.nextQID,
+		vsq:     nvme.NewSQ(vc.nextQID, depth),
+		vcq:     nvme.NewCQ(vc.nextQID, depth),
+		hqp:     vc.part.Dev.CreateQueuePair(depth, vc.vm.Mem),
+		htags:   make([]hop, depth),
+		htagSeq: make([]uint64, depth),
 	}
 	for i := uint32(0); i < depth; i++ {
 		vq.freeHTags = append(vq.freeHTags, uint16(i))
@@ -216,7 +284,9 @@ func (vc *Controller) CreateQP(depth uint32) *nvme.QueuePair {
 // that parked itself during inactivity.
 func (vc *Controller) Ring(qid uint16) { vc.w.hint() }
 
-// SetIRQ implements vm.Port.
+// SetIRQ implements vm.Port. An unknown qid is a guest configuration error
+// (reachable from guest input), so it is counted and ignored rather than
+// panicking the host.
 func (vc *Controller) SetIRQ(qid uint16, fn func()) {
 	for _, vq := range vc.vqs {
 		if vq.qid == qid {
@@ -224,7 +294,7 @@ func (vc *Controller) SetIRQ(qid uint16, fn func()) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("core: SetIRQ for unknown qid %d", qid))
+	vc.router.BadQIDs++
 }
 
 // --- classification and routing ----------------------------------------
@@ -307,8 +377,11 @@ func (w *worker) classifyAndRoute(req *request, hook uint32, errStatus nvme.Stat
 func (w *worker) finishHop(h hop, t target, status nvme.Status) {
 	req := h.req
 	req.pending--
-	if !status.OK() && req.status.OK() {
-		req.status = status
+	if !status.OK() {
+		(*w.r.pathErrors(t))++
+		if req.status.OK() {
+			req.status = status
+		}
 	}
 	switch h.disp {
 	case dispHook:
@@ -333,6 +406,9 @@ func (w *worker) completeReq(req *request, status nvme.Status) {
 		return
 	}
 	req.completed = true
+	if !status.OK() {
+		w.r.GuestErrors++
+	}
 	var e nvme.Completion
 	e.SetCID(req.gcid)
 	e.SetSQID(req.vq.qid)
@@ -387,7 +463,18 @@ func (w *worker) dispatchHQ(h hop) {
 	cmd := req.cmd
 	cmd.SetCID(htag)
 	if !vq.hqp.SQ.Push(&cmd) {
-		panic("core: HSQ full after check")
+		// Backpressure, not a panic: undo the tag grab and retry on the
+		// next worker iteration, exactly like the full-before-check case.
+		vq.htags[htag] = hop{}
+		vq.freeHTags = append(vq.freeHTags, htag)
+		w.r.Backpressure++
+		vc.retry = append(vc.retry, func() { w.dispatchHQ(h) })
+		return
+	}
+	vq.dispatchSeq++
+	vq.htagSeq[htag] = vq.dispatchSeq
+	if dl := w.r.FastPathDeadline; dl > 0 {
+		vq.deadlines = append(vq.deadlines, hqDeadline{cid: htag, seq: vq.dispatchSeq, at: w.r.env.Now().Add(dl)})
 	}
 	vc.part.Dev.Ring(vq.hqp.SQ.ID)
 }
@@ -411,7 +498,11 @@ func (w *worker) dispatchNQ(h hop) {
 	cmd := req.cmd
 	cmd.SetCID(tag)
 	if !vc.nq.nsq.Push(&cmd) {
-		panic("core: NSQ full after check")
+		// Backpressure, not a panic: drop the tag and retry later.
+		delete(vc.ntags, tag)
+		w.r.Backpressure++
+		vc.retry = append(vc.retry, func() { w.dispatchNQ(h) })
+		return
 	}
 	vc.nq.notify()
 }

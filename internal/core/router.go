@@ -54,25 +54,61 @@ type Router struct {
 	costs   RouterCosts
 	workers []*worker
 
+	// FastPathDeadline bounds how long a fast-path hop may stay in flight
+	// before the router aborts it back to the guest (0 disables). The
+	// default sits far above any legitimate device queueing delay; fault
+	// experiments tighten it. HTagReclaim is the quarantine window before
+	// a timed-out host tag may be reused.
+	FastPathDeadline sim.Duration
+	HTagReclaim      sim.Duration
+
 	// Stats
 	Classifications uint64
 	FastPath        uint64
 	NotifyPath      uint64
 	KernelPath      uint64
 	Immediate       uint64
+
+	// Error accounting, per path and guest-visible.
+	FastPathErrors   uint64 // non-OK fast-path hop completions
+	NotifyPathErrors uint64 // non-OK notify-path hop completions
+	KernelPathErrors uint64 // non-OK kernel-path hop completions
+	GuestErrors      uint64 // non-OK completions posted to guest VCQs
+	StaleComps       uint64 // fast-path completions with no live host tag
+	HQTimeouts       uint64 // fast-path hops aborted at their deadline
+	HTagsReclaimed   uint64 // quarantined host tags recycled without a completion
+	Backpressure     uint64 // dispatches deferred because a queue was full
+	BadQIDs          uint64 // guest operations naming an unknown queue
 }
 
 // NewRouter creates a router with one worker per given host thread.
 // The paper's main evaluations use one worker per VM; the scalability
 // evaluation shares a single worker across all VMs.
 func NewRouter(env *sim.Env, costs RouterCosts, threads []*sim.Thread) *Router {
-	r := &Router{env: env, costs: costs}
+	r := &Router{
+		env:              env,
+		costs:            costs,
+		FastPathDeadline: 100 * sim.Millisecond,
+		HTagReclaim:      200 * sim.Millisecond,
+	}
 	for i, th := range threads {
 		w := &worker{r: r, id: i, thread: th, wake: sim.NewCond(env)}
 		r.workers = append(r.workers, w)
 		env.Go(fmt.Sprintf("router-w%d", i), w.run)
 	}
 	return r
+}
+
+// pathErrors returns the per-path error counter for target t.
+func (r *Router) pathErrors(t target) *uint64 {
+	switch t {
+	case targetHQ:
+		return &r.FastPathErrors
+	case targetNQ:
+		return &r.NotifyPathErrors
+	default:
+		return &r.KernelPathErrors
+	}
 }
 
 // Workers returns the number of worker threads.
@@ -151,14 +187,28 @@ func (w *worker) run(p *sim.Proc) {
 				// Fast-path completions.
 				var e nvme.Completion
 				for vq.hqp.CQ.Pop(&e) {
-					h := vq.htags[e.CID()]
+					cid := e.CID()
+					h := vq.htags[cid]
 					if h.req == nil {
+						// No live host tag: the late completion of a hop
+						// the deadline sweep already aborted. Count it
+						// (silent drops would hide injected faults) and
+						// release the quarantined tag.
+						w.r.StaleComps++
+						vq.releaseLost(cid)
 						continue
 					}
-					vq.htags[e.CID()] = hop{}
-					vq.freeHTags = append(vq.freeHTags, e.CID())
+					vq.htags[cid] = hop{}
+					vq.freeHTags = append(vq.freeHTags, cid)
 					st := e.Status()
 					effects = append(effects, func() { w.finishHop(h, targetHQ, st) })
+				}
+				// Deadline sweep: abort fast-path hops that outlived their
+				// deadline and recycle quarantined tags whose completion
+				// never arrived.
+				for _, h := range vq.expireDeadlines(w.r) {
+					h := h
+					effects = append(effects, func() { w.finishHop(h, targetHQ, nvme.SCAbortRequested) })
 				}
 			}
 		}

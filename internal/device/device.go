@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 
+	"nvmetro/internal/fault"
 	"nvmetro/internal/nvme"
 	"nvmetro/internal/sim"
 )
@@ -77,10 +78,14 @@ type Device struct {
 	ns     map[uint32]*Namespace
 	queues map[uint16]*queueState
 	nextQ  uint16
+	inj    *fault.Injector
 
 	// Stats
 	Reads, Writes, Others uint64
 	BytesRead, BytesWrit  uint64
+	MediaErrors           uint64 // injected media-error completions
+	DroppedComps          uint64 // completions suppressed by fault injection
+	StuckComps            uint64 // completions delayed by fault injection
 }
 
 // New creates a device with one namespace (NSID 1) over the given store.
@@ -101,6 +106,25 @@ func New(env *sim.Env, p Params, store Store) *Device {
 
 // Params returns the device model parameters.
 func (d *Device) Params() Params { return d.p }
+
+// InjectFaults attaches a fault injector to the device's command path (nil
+// detaches). Decisions are drawn once per handled command, in arrival
+// order, so a fixed seed yields a fixed fault trace.
+func (d *Device) InjectFaults(inj *fault.Injector) { d.inj = inj }
+
+// FaultInjector returns the attached injector, or nil.
+func (d *Device) FaultInjector() *fault.Injector { return d.inj }
+
+// classOf maps an opcode to the injector's command class.
+func classOf(op uint8) fault.Class {
+	switch op {
+	case nvme.OpRead, nvme.OpCompare:
+		return fault.ClassRead
+	case nvme.OpWrite, nvme.OpWriteZeroes:
+		return fault.ClassWrite
+	}
+	return fault.ClassOther
+}
 
 // AddNamespace attaches an additional namespace.
 func (d *Device) AddNamespace(id uint32, blocks uint64, store Store) *Namespace {
@@ -204,6 +228,23 @@ func (d *Device) handle(p *sim.Proc, st *queueState, cmd nvme.Command) {
 			p.Sleep(d.jittered(10 * sim.Microsecond))
 		} else {
 			status = nvme.SCInvalidOpcode
+		}
+	}
+
+	// Fault injection: a media error overrides a successful status; a drop
+	// suppresses the completion; a stuck completion is held before posting.
+	if fd := d.inj.Decide(classOf(cmd.Opcode())); fd.Faulty() {
+		if !fd.Status.OK() && status.OK() {
+			status = fd.Status
+			d.MediaErrors++
+		}
+		if fd.Drop {
+			d.DroppedComps++
+			return
+		}
+		if fd.Delay > 0 {
+			d.StuckComps++
+			p.Sleep(fd.Delay)
 		}
 	}
 

@@ -1,0 +1,253 @@
+// Package fault is the deterministic fault-injection subsystem: it decides,
+// per simulated command, whether a layer should experience a media error, a
+// dropped completion, a stuck (delayed) completion, or — for the fabric — a
+// scheduled link outage. Every decision comes from a seeded PRNG stream
+// derived per injection site, so identical seeds and plans yield identical
+// fault traces and every failure is reproducible in tests.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+)
+
+// Kind enumerates the injectable fault kinds.
+type Kind int
+
+// Fault kinds.
+const (
+	// MediaReadError fails a read command with SCUnrecoveredRead.
+	MediaReadError Kind = iota
+	// MediaWriteError fails a write command with SCWriteFault.
+	MediaWriteError
+	// DropCompletion executes the command but never posts its completion
+	// (a lost interrupt / lost CQE).
+	DropCompletion
+	// StuckCompletion delays the completion by the rule's Delay.
+	StuckCompletion
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MediaReadError:
+		return "media-read"
+	case MediaWriteError:
+		return "media-write"
+	case DropCompletion:
+		return "drop-completion"
+	case StuckCompletion:
+		return "stuck-completion"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Class is the command class an injector is asked about.
+type Class int
+
+// Command classes.
+const (
+	ClassRead Class = iota
+	ClassWrite
+	ClassOther
+)
+
+// Rule is one probabilistic injection rule. Rules are evaluated in plan
+// order on every eligible command; Limit caps how many times the rule fires
+// at one injection site (0 = unlimited).
+type Rule struct {
+	Kind  Kind
+	Rate  float64      // probability per eligible command, in [0,1]
+	Limit int          // max firings per site (0 = unlimited)
+	Delay sim.Duration // StuckCompletion hold time
+}
+
+func (r Rule) eligible(c Class) bool {
+	switch r.Kind {
+	case MediaReadError:
+		return c == ClassRead
+	case MediaWriteError:
+		return c == ClassWrite
+	default:
+		return c == ClassRead || c == ClassWrite || c == ClassOther
+	}
+}
+
+// Outage is one scheduled fabric outage window.
+type Outage struct {
+	At  sim.Time
+	Dur sim.Duration
+}
+
+// Plan is a reusable fault plan: a rule set plus scheduled link outages.
+// A Plan is a template — per-site state (rule fire counts, PRNG streams)
+// lives in the Injectors it hands out.
+type Plan struct {
+	Seed    int64
+	rules   []Rule
+	outages []Outage
+}
+
+// NewPlan creates an empty plan with the given seed.
+func NewPlan(seed int64) *Plan { return &Plan{Seed: seed} }
+
+// WithRule appends a rule and returns the plan for chaining.
+func (p *Plan) WithRule(r Rule) *Plan {
+	p.rules = append(p.rules, r)
+	return p
+}
+
+// WithMediaErrors adds read and write media-error rules at the given rate.
+func (p *Plan) WithMediaErrors(rate float64) *Plan {
+	return p.WithRule(Rule{Kind: MediaReadError, Rate: rate}).
+		WithRule(Rule{Kind: MediaWriteError, Rate: rate})
+}
+
+// WithDrops adds a dropped-completion rule.
+func (p *Plan) WithDrops(rate float64, limit int) *Plan {
+	return p.WithRule(Rule{Kind: DropCompletion, Rate: rate, Limit: limit})
+}
+
+// WithStuck adds a stuck-completion rule holding completions for delay.
+func (p *Plan) WithStuck(rate float64, limit int, delay sim.Duration) *Plan {
+	return p.WithRule(Rule{Kind: StuckCompletion, Rate: rate, Limit: limit, Delay: delay})
+}
+
+// WithOutage schedules a link outage window.
+func (p *Plan) WithOutage(at sim.Time, dur sim.Duration) *Plan {
+	p.outages = append(p.outages, Outage{At: at, Dur: dur})
+	return p
+}
+
+// Outages returns the scheduled outage windows.
+func (p *Plan) Outages() []Outage { return p.outages }
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || (len(p.rules) == 0 && len(p.outages) == 0) }
+
+// Injector derives the per-site injector for the named site. The PRNG
+// stream depends only on (plan seed, site name), so the decision sequence
+// at one site is independent of activity at every other site.
+func (p *Plan) Injector(site string) *Injector {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	seed := p.Seed ^ int64(h.Sum64())
+	inj := &Injector{site: site, rng: rand.New(rand.NewSource(seed))}
+	inj.rules = make([]ruleState, len(p.rules))
+	for i, r := range p.rules {
+		inj.rules[i] = ruleState{Rule: r}
+	}
+	return inj
+}
+
+type ruleState struct {
+	Rule
+	fired int
+}
+
+// Decision is the outcome of one injection query. The zero value means
+// "no fault".
+type Decision struct {
+	Status nvme.Status  // non-OK fails the command with this status
+	Drop   bool         // suppress the completion entirely
+	Delay  sim.Duration // hold the completion this long before posting
+}
+
+// Faulty reports whether any fault was injected.
+func (d Decision) Faulty() bool { return !d.Status.OK() || d.Drop || d.Delay > 0 }
+
+// Injector is per-site fault state: rule fire counts, the site PRNG stream
+// and injection counters. Methods on a nil Injector are no-ops, so layers
+// can hold one unconditionally.
+type Injector struct {
+	site  string
+	rng   *rand.Rand
+	rules []ruleState
+
+	// Stats
+	Commands uint64           // decisions taken
+	Injected [numKinds]uint64 // faults injected, by kind
+}
+
+// Site returns the injection-site name.
+func (inj *Injector) Site() string {
+	if inj == nil {
+		return ""
+	}
+	return inj.site
+}
+
+// Decide evaluates the plan's rules for one command of class c. Every rule
+// draws from the site stream in plan order (even after its limit is
+// exhausted), keeping the stream alignment independent of firing history.
+func (inj *Injector) Decide(c Class) Decision {
+	var d Decision
+	if inj == nil {
+		return d
+	}
+	inj.Commands++
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if !r.eligible(c) || r.Rate <= 0 {
+			continue
+		}
+		hit := inj.rng.Float64() < r.Rate
+		if !hit || (r.Limit > 0 && r.fired >= r.Limit) {
+			continue
+		}
+		r.fired++
+		inj.Injected[r.Kind]++
+		switch r.Kind {
+		case MediaReadError:
+			if d.Status.OK() {
+				d.Status = nvme.SCUnrecoveredRead
+			}
+		case MediaWriteError:
+			if d.Status.OK() {
+				d.Status = nvme.SCWriteFault
+			}
+		case DropCompletion:
+			d.Drop = true
+		case StuckCompletion:
+			if r.Delay > d.Delay {
+				d.Delay = r.Delay
+			}
+		}
+	}
+	return d
+}
+
+// InjectedTotal returns the total number of injected faults.
+func (inj *Injector) InjectedTotal() uint64 {
+	if inj == nil {
+		return 0
+	}
+	var n uint64
+	for _, v := range inj.Injected {
+		n += v
+	}
+	return n
+}
+
+// Counters renders the injector's counts as a stable, sorted string — the
+// comparison unit for fault-trace determinism tests.
+func (inj *Injector) Counters() string {
+	if inj == nil {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("site=%s commands=%d", inj.site, inj.Commands)}
+	var kinds []string
+	for k := Kind(0); k < numKinds; k++ {
+		if inj.Injected[k] > 0 {
+			kinds = append(kinds, fmt.Sprintf("%v=%d", k, inj.Injected[k]))
+		}
+	}
+	sort.Strings(kinds)
+	return strings.Join(append(parts, kinds...), " ")
+}

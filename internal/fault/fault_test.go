@@ -1,0 +1,129 @@
+package fault_test
+
+import (
+	"testing"
+
+	"nvmetro/internal/fault"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+)
+
+// Two injectors derived from the same plan at the same site must produce
+// the identical decision sequence — the subsystem's core guarantee.
+func TestSameSiteSameDecisions(t *testing.T) {
+	mk := func() *fault.Injector {
+		return fault.NewPlan(42).
+			WithMediaErrors(0.1).
+			WithDrops(0.05, 3).
+			WithStuck(0.05, 0, sim.Millisecond).
+			Injector("device")
+	}
+	a, b := mk(), mk()
+	classes := []fault.Class{fault.ClassRead, fault.ClassWrite, fault.ClassOther}
+	for i := 0; i < 10000; i++ {
+		c := classes[i%len(classes)]
+		da, db := a.Decide(c), b.Decide(c)
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+	if a.Counters() != b.Counters() {
+		t.Fatalf("counters diverged:\n%s\n%s", a.Counters(), b.Counters())
+	}
+	if a.InjectedTotal() == 0 {
+		t.Fatal("expected some injections at 10% over 10k commands")
+	}
+}
+
+// Streams at different sites must be independent (different sequences).
+func TestSitesIndependent(t *testing.T) {
+	p := fault.NewPlan(7).WithMediaErrors(0.5)
+	a, b := p.Injector("device"), p.Injector("remote-device")
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.Decide(fault.ClassRead) != b.Decide(fault.ClassRead) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two sites produced identical 200-decision sequences")
+	}
+}
+
+func TestRateZeroAndOne(t *testing.T) {
+	inj := fault.NewPlan(1).WithMediaErrors(0).Injector("d")
+	for i := 0; i < 100; i++ {
+		if inj.Decide(fault.ClassRead).Faulty() {
+			t.Fatal("rate 0 injected a fault")
+		}
+	}
+	inj = fault.NewPlan(1).WithMediaErrors(1).Injector("d")
+	if d := inj.Decide(fault.ClassRead); d.Status != nvme.SCUnrecoveredRead {
+		t.Fatalf("read at rate 1: %+v", d)
+	}
+	if d := inj.Decide(fault.ClassWrite); d.Status != nvme.SCWriteFault {
+		t.Fatalf("write at rate 1: %+v", d)
+	}
+	if d := inj.Decide(fault.ClassOther); d.Faulty() {
+		t.Fatalf("media rules must not hit ClassOther: %+v", d)
+	}
+}
+
+func TestRuleLimit(t *testing.T) {
+	inj := fault.NewPlan(1).WithDrops(1, 2).Injector("d")
+	drops := 0
+	for i := 0; i < 50; i++ {
+		if inj.Decide(fault.ClassWrite).Drop {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("limit 2, got %d drops", drops)
+	}
+}
+
+// Exhausted rules must keep drawing from the stream so later rules see the
+// same draws regardless of firing history: two plans differing only in an
+// earlier rule's limit agree on the later rule's decisions.
+func TestStreamAlignmentAcrossLimits(t *testing.T) {
+	seq := func(limit int) []bool {
+		inj := fault.NewPlan(3).
+			WithDrops(0.5, limit).
+			WithStuck(0.3, 0, sim.Millisecond).
+			Injector("d")
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, inj.Decide(fault.ClassWrite).Delay > 0)
+		}
+		return out
+	}
+	a, b := seq(1), seq(0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stuck decisions diverged at %d when drop limit changed", i)
+		}
+	}
+}
+
+func TestStuckDelayAndOutages(t *testing.T) {
+	p := fault.NewPlan(1).
+		WithStuck(1, 0, 5*sim.Millisecond).
+		WithOutage(sim.Time(10*sim.Millisecond), 2*sim.Millisecond)
+	if d := p.Injector("d").Decide(fault.ClassRead); d.Delay != 5*sim.Millisecond {
+		t.Fatalf("delay: %+v", d)
+	}
+	if n := len(p.Outages()); n != 1 {
+		t.Fatalf("outages: %d", n)
+	}
+	if p.Empty() {
+		t.Fatal("plan with rules reported empty")
+	}
+}
+
+// A nil injector must be a total no-op.
+func TestNilInjector(t *testing.T) {
+	var inj *fault.Injector
+	if inj.Decide(fault.ClassRead).Faulty() || inj.InjectedTotal() != 0 || inj.Counters() != "" || inj.Site() != "" {
+		t.Fatal("nil injector not inert")
+	}
+}

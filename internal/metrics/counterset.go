@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CounterSet is an insertion-ordered collection of named counters. It
+// aggregates error/retry/timeout counts from many layers into one record
+// whose String() rendering is stable, making two runs directly comparable
+// in fault-trace determinism tests.
+type CounterSet struct {
+	names []string
+	vals  map[string]uint64
+}
+
+// Add accumulates v into the named counter, registering the name on first
+// use.
+func (s *CounterSet) Add(name string, v uint64) {
+	if s.vals == nil {
+		s.vals = make(map[string]uint64)
+	}
+	if _, ok := s.vals[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.vals[name] += v
+}
+
+// Get returns the named counter's value (0 if absent).
+func (s *CounterSet) Get(name string) uint64 { return s.vals[name] }
+
+// Total sums every counter.
+func (s *CounterSet) Total() uint64 {
+	var n uint64
+	for _, v := range s.vals {
+		n += v
+	}
+	return n
+}
+
+// Names returns the counter names in insertion order.
+func (s *CounterSet) Names() []string { return append([]string(nil), s.names...) }
+
+// String renders "name=value" pairs in insertion order — a deterministic
+// fault-trace fingerprint.
+func (s *CounterSet) String() string {
+	parts := make([]string, 0, len(s.names))
+	for _, n := range s.names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, s.vals[n]))
+	}
+	return strings.Join(parts, " ")
+}

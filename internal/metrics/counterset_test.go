@@ -1,0 +1,22 @@
+package metrics
+
+import "testing"
+
+func TestCounterSetOrderAndString(t *testing.T) {
+	var s CounterSet
+	s.Add("b", 2)
+	s.Add("a", 1)
+	s.Add("b", 3)
+	if got := s.String(); got != "b=5 a=1" {
+		t.Fatalf("String: %q", got)
+	}
+	if s.Get("b") != 5 || s.Get("a") != 1 || s.Get("missing") != 0 {
+		t.Fatal("Get values wrong")
+	}
+	if s.Total() != 6 {
+		t.Fatalf("Total: %d", s.Total())
+	}
+	if n := s.Names(); len(n) != 2 || n[0] != "b" || n[1] != "a" {
+		t.Fatalf("Names: %v", n)
+	}
+}

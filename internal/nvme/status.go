@@ -39,6 +39,13 @@ const (
 	SCDeallocatedRange Status = SCTMedia | 0x87
 )
 
+// Path-related status codes.
+const (
+	// SCPathError reports an internal path error: the fabric lost the
+	// command (or its response) and every retry was exhausted.
+	SCPathError Status = SCTPath | 0x00
+)
+
 // OK reports whether the status is success.
 func (s Status) OK() bool { return s == SCSuccess }
 
@@ -71,6 +78,8 @@ func (s Status) String() string {
 		return "CompareFailure"
 	case SCAccessDenied:
 		return "AccessDenied"
+	case SCPathError:
+		return "PathError"
 	}
 	return fmt.Sprintf("Status(sct=%d,sc=%#02x)", s.SCT(), s.SC())
 }

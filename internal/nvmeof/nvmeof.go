@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nvmetro/internal/blockdev"
+	"nvmetro/internal/fault"
 	"nvmetro/internal/nvme"
 	"nvmetro/internal/sim"
 )
@@ -22,10 +23,14 @@ type Link struct {
 	Latency sim.Duration
 	BW      float64 // bytes/sec per direction
 	nextTx  [2]sim.Time
+	outages []fault.Outage
+	onUp    []func()
 
 	// Stats
 	Messages [2]uint64
 	Bytes    [2]uint64
+	Drops    [2]uint64 // messages lost to outage windows
+	Outages  uint64    // scheduled outage windows
 }
 
 // Directions.
@@ -45,8 +50,48 @@ func DefaultLink(env *sim.Env) *Link {
 	return NewLink(env, 5*sim.Microsecond, 6e9)
 }
 
+// ScheduleOutage declares the link down for [at, at+dur): messages whose
+// transmission or arrival falls inside the window are silently lost. When
+// the window closes, registered OnUp callbacks fire so initiators can
+// requeue in-flight commands.
+func (l *Link) ScheduleOutage(at sim.Time, dur sim.Duration) {
+	l.outages = append(l.outages, fault.Outage{At: at, Dur: dur})
+	l.Outages++
+	l.env.At(at.Add(dur), func() {
+		for _, fn := range l.onUp {
+			fn()
+		}
+	})
+}
+
+// ApplyPlan schedules every outage in the fault plan on this link.
+func (l *Link) ApplyPlan(p *fault.Plan) {
+	if p == nil {
+		return
+	}
+	for _, o := range p.Outages() {
+		l.ScheduleOutage(o.At, o.Dur)
+	}
+}
+
+// OnUp registers a callback invoked (in scheduler context) each time an
+// outage window closes.
+func (l *Link) OnUp(fn func()) { l.onUp = append(l.onUp, fn) }
+
+// down reports whether the link is in an outage window at time t.
+func (l *Link) down(t sim.Time) bool {
+	for _, o := range l.outages {
+		if t >= o.At && t < o.At.Add(o.Dur) {
+			return true
+		}
+	}
+	return false
+}
+
 // Send delivers fn after the message of size bytes crosses the link in
-// direction dir, honoring serialization and propagation delay.
+// direction dir, honoring serialization and propagation delay. A message
+// that departs or arrives during an outage window is dropped: fn never
+// runs, and recovery is the sender's responsibility.
 func (l *Link) Send(dir int, size int, fn func()) {
 	now := l.env.Now()
 	depart := l.nextTx[dir]
@@ -57,7 +102,12 @@ func (l *Link) Send(dir int, size int, fn func()) {
 	l.nextTx[dir] = txDone
 	l.Messages[dir]++
 	l.Bytes[dir] += uint64(size)
-	l.env.At(txDone.Add(l.Latency), fn)
+	arrive := txDone.Add(l.Latency)
+	if l.down(depart) || l.down(arrive) {
+		l.Drops[dir]++
+		return
+	}
+	l.env.At(arrive, fn)
 }
 
 // capsuleHeader approximates the NVMe-oF capsule overhead in bytes.
@@ -117,21 +167,71 @@ func (t *Target) run(p *sim.Proc) {
 	}
 }
 
-// Initiator exposes the remote namespace as a local BlockDevice.
+// InitiatorRecovery is the initiator's command-recovery policy.
+type InitiatorRecovery struct {
+	Timeout    sim.Duration // per-attempt response deadline
+	MaxRetries int          // resends before the command fails with SCPathError
+	Backoff    sim.Duration // first retry delay; doubles per attempt
+}
+
+// DefaultInitiatorRecovery returns a policy tolerant of deep target queues:
+// a command only times out if the fabric genuinely lost it.
+func DefaultInitiatorRecovery() InitiatorRecovery {
+	return InitiatorRecovery{
+		Timeout:    50 * sim.Millisecond,
+		MaxRetries: 4,
+		Backoff:    100 * sim.Microsecond,
+	}
+}
+
+// ofPending is one in-flight command on the initiator.
+type ofPending struct {
+	op      blockdev.BioOp
+	sector  uint64
+	nsect   uint32
+	payload []byte // in-capsule write data or read-reply scratch
+	dst     []byte // read destination in the caller's buffer
+	done    func(nvme.Status)
+	size    int // request capsule size
+	attempt int
+	fin     bool
+}
+
+// Initiator exposes the remote namespace as a local BlockDevice. It keeps
+// an in-flight command table: a command whose response does not arrive
+// within the recovery timeout is resent with exponential backoff, commands
+// in flight when an outage ends are requeued immediately, and a command
+// that exhausts its retries completes with SCPathError.
 type Initiator struct {
 	env  *sim.Env
 	link *Link
 	tgt  *Target
 	// PerCmd is the host-side submission cost (RDMA post + completion).
 	PerCmd sim.Duration
+	rec    InitiatorRecovery
+	pend   []*ofPending // FIFO; deterministic requeue order
 
-	Sent uint64
+	// Stats
+	Sent           uint64
+	Retries        uint64 // resends after a per-attempt timeout
+	Requeues       uint64 // resends triggered by link recovery
+	Reconnects     uint64 // outage-end events observed
+	Failures       uint64 // commands failed with SCPathError
+	StaleResponses uint64 // responses for a superseded or finished attempt
 }
 
 // NewInitiator connects to tgt over link.
 func NewInitiator(env *sim.Env, link *Link, tgt *Target) *Initiator {
-	return &Initiator{env: env, link: link, tgt: tgt, PerCmd: 1500 * sim.Nanosecond}
+	i := &Initiator{env: env, link: link, tgt: tgt, PerCmd: 1500 * sim.Nanosecond, rec: DefaultInitiatorRecovery()}
+	link.OnUp(i.onLinkUp)
+	return i
 }
+
+// SetRecovery replaces the recovery policy (call before traffic starts).
+func (i *Initiator) SetRecovery(rec InitiatorRecovery) { i.rec = rec }
+
+// Recovery returns the active recovery policy.
+func (i *Initiator) Recovery() InitiatorRecovery { return i.rec }
 
 // NumSectors implements BlockDevice.
 func (i *Initiator) NumSectors() uint64 { return i.tgt.bdev.NumSectors() }
@@ -142,37 +242,107 @@ func (i *Initiator) NumSectors() uint64 { return i.tgt.bdev.NumSectors() }
 func (i *Initiator) SubmitBio(p *sim.Proc, th *sim.Thread, b *blockdev.Bio) {
 	th.Exec(p, i.PerCmd)
 	i.Sent++
-	size := capsuleHeader
-	var payload []byte
+	pe := &ofPending{op: b.Op, sector: b.Sector, nsect: b.NSect, dst: b.Data, done: b.OnDone, size: capsuleHeader}
 	if b.Op == blockdev.BioWrite {
 		// In-capsule data (RDMA write); copy because the caller may reuse
 		// its buffer after completion.
-		payload = append([]byte(nil), b.Data...)
-		size += len(payload)
+		pe.payload = append([]byte(nil), b.Data...)
+		pe.size += len(pe.payload)
 	} else if b.Op == blockdev.BioRead {
-		payload = make([]byte, len(b.Data))
+		pe.payload = make([]byte, len(b.Data))
 	}
-	done := b.OnDone
-	dst := b.Data
-	op, sector, nsect := b.Op, b.Sector, b.NSect
-	i.link.Send(DirToTarget, size, func() {
+	i.pend = append(i.pend, pe)
+	i.send(pe)
+}
+
+// send transmits one attempt of pe and arms its response deadline.
+func (i *Initiator) send(pe *ofPending) {
+	pe.attempt++
+	attempt := pe.attempt
+	i.link.Send(DirToTarget, pe.size, func() {
 		i.tgt.queue = append(i.tgt.queue, capsule{
-			op: op, sector: sector, data: payload, nsect: nsect,
+			op: pe.op, sector: pe.sector, data: pe.payload, nsect: pe.nsect,
 			reply: func(st nvme.Status, rdata []byte) {
 				rsize := capsuleHeader
-				if op == blockdev.BioRead {
+				if pe.op == blockdev.BioRead {
 					rsize += len(rdata)
 				}
 				i.link.Send(DirToHost, rsize, func() {
-					if op == blockdev.BioRead && st.OK() {
-						copy(dst, rdata)
-					}
-					done(st)
+					i.complete(pe, attempt, st, rdata)
 				})
 			},
 		})
 		i.tgt.wake.Signal(nil)
 	})
+	if i.rec.Timeout > 0 {
+		i.env.After(i.rec.Timeout, func() {
+			if !pe.fin && pe.attempt == attempt {
+				i.onTimeout(pe)
+			}
+		})
+	}
+}
+
+// complete finishes pe on a response for the given attempt. Responses for
+// an earlier attempt (the resend raced an in-flight original) or for an
+// already-finished command are counted and dropped.
+func (i *Initiator) complete(pe *ofPending, attempt int, st nvme.Status, rdata []byte) {
+	if pe.fin || pe.attempt != attempt {
+		i.StaleResponses++
+		return
+	}
+	i.finish(pe, st, rdata)
+}
+
+func (i *Initiator) finish(pe *ofPending, st nvme.Status, rdata []byte) {
+	pe.fin = true
+	i.unqueue(pe)
+	if pe.op == blockdev.BioRead && st.OK() {
+		copy(pe.dst, rdata)
+	}
+	pe.done(st)
+}
+
+// unqueue removes pe from the pending FIFO, preserving order.
+func (i *Initiator) unqueue(pe *ofPending) {
+	for n, q := range i.pend {
+		if q == pe {
+			i.pend = append(i.pend[:n], i.pend[n+1:]...)
+			return
+		}
+	}
+}
+
+// onTimeout handles a lost attempt: resend with exponential backoff, or
+// fail the command once retries are exhausted.
+func (i *Initiator) onTimeout(pe *ofPending) {
+	if pe.attempt > i.rec.MaxRetries {
+		i.Failures++
+		i.finish(pe, nvme.SCPathError, nil)
+		return
+	}
+	backoff := i.rec.Backoff << (pe.attempt - 1)
+	attempt := pe.attempt
+	i.env.After(backoff, func() {
+		if !pe.fin && pe.attempt == attempt {
+			i.Retries++
+			i.send(pe)
+		}
+	})
+}
+
+// onLinkUp requeues every in-flight command as soon as an outage window
+// closes, rather than waiting for each command's timeout to expire.
+func (i *Initiator) onLinkUp() {
+	i.Reconnects++
+	requeue := append([]*ofPending(nil), i.pend...)
+	for _, pe := range requeue {
+		if pe.fin {
+			continue
+		}
+		i.Requeues++
+		i.send(pe)
+	}
 }
 
 func (l *Link) String() string {

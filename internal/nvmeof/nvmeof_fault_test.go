@@ -1,0 +1,106 @@
+package nvmeof_test
+
+import (
+	"testing"
+
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/nvmeof"
+	"nvmetro/internal/sim"
+)
+
+// A capsule lost to an outage is requeued as soon as the link recovers —
+// well before the per-attempt timeout would fire.
+func TestOutageRequeuesOnLinkUp(t *testing.T) {
+	env, th, init, _, link := remoteBed()
+	link.ScheduleOutage(0, sim.Millisecond)
+	runP(t, env, func(p *sim.Proc) {
+		start := p.Now()
+		st := bioWait(p, th, init, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)})
+		if !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		el := p.Now().Sub(start)
+		if el < sim.Millisecond {
+			t.Fatalf("completed in %v, before the outage ended", el)
+		}
+		if el > 10*sim.Millisecond {
+			t.Fatalf("completed in %v: waited for a timeout instead of the link-up requeue", el)
+		}
+	})
+	if link.Drops[nvmeof.DirToTarget] != 1 {
+		t.Fatalf("link drops: %d", link.Drops[nvmeof.DirToTarget])
+	}
+	if init.Reconnects != 1 || init.Requeues != 1 {
+		t.Fatalf("reconnects=%d requeues=%d, want 1/1", init.Reconnects, init.Requeues)
+	}
+	if init.Failures != 0 {
+		t.Fatalf("failures=%d", init.Failures)
+	}
+}
+
+// During a long outage, bounded retries exhaust and the command fails with
+// PathError rather than hanging until the link returns.
+func TestOutageExhaustsRetries(t *testing.T) {
+	env, th, init, _, link := remoteBed()
+	link.ScheduleOutage(0, 10*sim.Millisecond)
+	init.SetRecovery(nvmeof.InitiatorRecovery{
+		Timeout:    100 * sim.Microsecond,
+		MaxRetries: 2,
+		Backoff:    10 * sim.Microsecond,
+	})
+	runP(t, env, func(p *sim.Proc) {
+		start := p.Now()
+		st := bioWait(p, th, init, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)})
+		if st != nvme.SCPathError {
+			t.Fatalf("status %v, want PathError", st)
+		}
+		if el := p.Now().Sub(start); el > 2*sim.Millisecond {
+			t.Fatalf("failed only after %v; should fail fast", el)
+		}
+	})
+	if init.Retries != 2 || init.Failures != 1 {
+		t.Fatalf("retries=%d failures=%d, want 2/1", init.Retries, init.Failures)
+	}
+}
+
+// A response that arrives after its attempt was superseded by a resend is
+// counted stale and dropped; the resend's response completes the command
+// exactly once.
+func TestLateResponseCountedStale(t *testing.T) {
+	env, th, init, _, _ := remoteBed()
+	// Timeout below the fabric round trip: the original response is still
+	// in flight when the resend goes out.
+	init.SetRecovery(nvmeof.InitiatorRecovery{
+		Timeout:    20 * sim.Microsecond,
+		MaxRetries: 5,
+		Backoff:    10 * sim.Microsecond,
+	})
+	completions := 0
+	runP(t, env, func(p *sim.Proc) {
+		c := sim.NewCond(env)
+		b := &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)}
+		b.OnDone = func(st nvme.Status) {
+			if !st.OK() {
+				t.Errorf("status %v", st)
+			}
+			completions++
+			c.Signal(nil)
+		}
+		init.SubmitBio(p, th, b)
+		for completions == 0 {
+			c.Wait()
+		}
+		// Give any duplicate responses time to surface.
+		p.Sleep(5 * sim.Millisecond)
+	})
+	if completions != 1 {
+		t.Fatalf("bio completed %d times", completions)
+	}
+	if init.StaleResponses == 0 {
+		t.Fatal("expected the original late response to be counted stale")
+	}
+	if init.Retries == 0 {
+		t.Fatal("expected at least one timeout-driven resend")
+	}
+}

@@ -56,6 +56,7 @@ type mdevPort struct {
 	wake        *sim.Cond
 	asleep      bool
 	outstanding int
+	badQIDs     uint64 // guest SetIRQ calls naming an unknown queue
 }
 
 func (p *mdevPort) Namespace() nvme.NamespaceInfo { return p.part.Info() }
@@ -90,7 +91,8 @@ func (p *mdevPort) SetIRQ(qid uint16, fn func()) {
 			return
 		}
 	}
-	panic("stack: mdev SetIRQ unknown qid")
+	// Guest configuration error: count and ignore rather than panic.
+	p.badQIDs++
 }
 
 // poll is the MDev polling loop: shadow VSQs into host queues with

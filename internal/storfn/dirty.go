@@ -1,0 +1,68 @@
+package storfn
+
+// DirtyRegions tracks guest LBA ranges whose secondary copy is stale —
+// writes that were acknowledged from the primary alone while the mirror
+// leg was failing. A resync pass would replay exactly these regions.
+// Ranges are kept sorted and coalesced.
+type DirtyRegions struct {
+	regions []dirtyRegion
+}
+
+type dirtyRegion struct {
+	lba, end uint64 // [lba, end)
+}
+
+// Add marks [lba, lba+blocks) dirty, merging with adjacent or overlapping
+// regions.
+func (d *DirtyRegions) Add(lba uint64, blocks uint64) {
+	if blocks == 0 {
+		return
+	}
+	nr := dirtyRegion{lba: lba, end: lba + blocks}
+	out := make([]dirtyRegion, 0, len(d.regions)+1)
+	for _, r := range d.regions {
+		switch {
+		case r.end < nr.lba: // strictly before, not touching
+			out = append(out, r)
+		case nr.end < r.lba: // strictly after, not touching
+			if nr.lba != nr.end {
+				out = append(out, nr)
+				nr = dirtyRegion{lba: nr.end, end: nr.end} // emitted
+			}
+			out = append(out, r)
+		default: // overlapping or adjacent: merge into nr
+			if r.lba < nr.lba {
+				nr.lba = r.lba
+			}
+			if r.end > nr.end {
+				nr.end = r.end
+			}
+		}
+	}
+	if nr.lba != nr.end {
+		out = append(out, nr)
+	}
+	d.regions = out
+}
+
+// Regions returns the number of coalesced dirty regions.
+func (d *DirtyRegions) Regions() int { return len(d.regions) }
+
+// Blocks returns the total number of dirty blocks.
+func (d *DirtyRegions) Blocks() uint64 {
+	var n uint64
+	for _, r := range d.regions {
+		n += r.end - r.lba
+	}
+	return n
+}
+
+// Contains reports whether block lba is dirty.
+func (d *DirtyRegions) Contains(lba uint64) bool {
+	for _, r := range d.regions {
+		if lba >= r.lba && lba < r.end {
+			return true
+		}
+	}
+	return false
+}

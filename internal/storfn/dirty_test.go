@@ -1,0 +1,50 @@
+package storfn
+
+import "testing"
+
+func TestDirtyRegionsMergeAndCount(t *testing.T) {
+	var d DirtyRegions
+	if d.Regions() != 0 || d.Blocks() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	d.Add(100, 8)
+	d.Add(200, 8)
+	if d.Regions() != 2 || d.Blocks() != 16 {
+		t.Fatalf("regions=%d blocks=%d, want 2/16", d.Regions(), d.Blocks())
+	}
+	// Adjacent ranges coalesce.
+	d.Add(108, 8)
+	if d.Regions() != 2 || d.Blocks() != 24 {
+		t.Fatalf("adjacent merge: regions=%d blocks=%d, want 2/24", d.Regions(), d.Blocks())
+	}
+	// Overlap does not double-count.
+	d.Add(104, 8)
+	if d.Regions() != 2 || d.Blocks() != 24 {
+		t.Fatalf("overlap: regions=%d blocks=%d, want 2/24", d.Regions(), d.Blocks())
+	}
+	// A range spanning the gap merges everything into one region.
+	d.Add(110, 95)
+	if d.Regions() != 1 || d.Blocks() != 108 {
+		t.Fatalf("span: regions=%d blocks=%d, want 1/108", d.Regions(), d.Blocks())
+	}
+	if !d.Contains(100) || !d.Contains(207) || d.Contains(208) || d.Contains(99) {
+		t.Fatal("Contains bounds wrong")
+	}
+	d.Add(300, 0)
+	if d.Regions() != 1 {
+		t.Fatal("zero-length add changed state")
+	}
+}
+
+func TestDirtyRegionsInsertBefore(t *testing.T) {
+	var d DirtyRegions
+	d.Add(500, 10)
+	d.Add(10, 10)
+	d.Add(250, 10)
+	if d.Regions() != 3 || d.Blocks() != 30 {
+		t.Fatalf("regions=%d blocks=%d, want 3/30", d.Regions(), d.Blocks())
+	}
+	if !d.Contains(15) || !d.Contains(255) || !d.Contains(505) {
+		t.Fatal("lost a region on out-of-order insert")
+	}
+}

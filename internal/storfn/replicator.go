@@ -12,12 +12,23 @@ import (
 // NVMe-oF initiator. Mirroring is synchronous — the router completes the
 // guest request only when both legs finish — which lets the VM's buffers
 // be reused immediately, as the paper notes.
+//
+// When the secondary leg fails (media error on the remote disk, or the
+// fabric exhausts its retries), the Replicator degrades rather than
+// failing the guest write: the primary already holds the data, so the
+// guest completes successfully and the stale LBA range is recorded in
+// Dirty for a later resync.
 type Replicator struct {
 	// CopyRate models pulling the write payload out of guest memory.
 	CopyRate float64
 
+	// Dirty is the set of guest LBA ranges whose secondary copy is stale.
+	Dirty DirtyRegions
+
 	// Stats
-	Forwarded uint64
+	Forwarded       uint64
+	Degraded        uint64 // guest writes acknowledged from the primary alone
+	SecondaryErrors uint64 // non-OK secondary-leg completions observed
 }
 
 // NewReplicator creates the mirroring UIF.
@@ -36,6 +47,17 @@ func (r *Replicator) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, 
 	}
 	th.Exec(p, sim.Duration(float64(n)/r.CopyRate*1e9))
 	r.Forwarded++
-	req.SubmitBackendWrite(p, th, buf)
+	lba, blocks := req.Cmd.SLBA(), uint64(req.Cmd.Blocks())
+	req.SubmitBackendWriteThen(p, th, buf, func(p *sim.Proc, th *sim.Thread, st nvme.Status) {
+		if !st.OK() {
+			// Degraded mode: the primary write (fast path) carries the
+			// data; mark the region dirty and acknowledge the guest.
+			r.SecondaryErrors++
+			r.Degraded++
+			r.Dirty.Add(lba, blocks)
+			st = nvme.SCSuccess
+		}
+		req.CompleteAsync(st)
+	})
 	return true, 0
 }
