@@ -65,6 +65,24 @@ func DefaultRecovery() Recovery {
 	}
 }
 
+// Validate rejects policies that would silently misbehave. A reclaim
+// window shorter than the command deadline is the dangerous one: a tag
+// could be recycled while its first attempt is still within deadline,
+// widening the misattribution window instead of bounding it.
+func (rec Recovery) Validate() error {
+	if rec.MaxRetries < 0 {
+		return fmt.Errorf("blockdev: negative MaxRetries %d", rec.MaxRetries)
+	}
+	if rec.Timeout < 0 || rec.Backoff < 0 || rec.Reclaim < 0 {
+		return fmt.Errorf("blockdev: negative recovery timer (timeout=%v backoff=%v reclaim=%v)",
+			rec.Timeout, rec.Backoff, rec.Reclaim)
+	}
+	if rec.Timeout > 0 && rec.Reclaim < rec.Timeout {
+		return fmt.Errorf("blockdev: reclaim window %v shorter than command deadline %v", rec.Reclaim, rec.Timeout)
+	}
+	return nil
+}
+
 // NVMeBlockDev is the host NVMe driver's block device: bios are translated
 // to NVMe commands on a dedicated host queue pair, data is bounced through
 // kernel DMA buffers, and completions are handled in a simulated interrupt
@@ -86,7 +104,8 @@ type NVMeBlockDev struct {
 	waitCID  *sim.Cond
 	shift    uint8
 
-	lost      map[uint16]sim.Time // quarantined CIDs: timed out, completion pending
+	lost      map[uint16]lostCID // quarantined CIDs: timed out, completion pending
+	genSeq    uint32             // submission-generation sequence (stamped in CDW3)
 	retryQ    []*pendingBio
 	retryCond *sim.Cond
 
@@ -96,9 +115,23 @@ type NVMeBlockDev struct {
 	Retries              uint64 // resubmissions after a timeout
 	Aborts               uint64 // bios failed after exhausting retries
 	Stale                uint64 // late completions for quarantined CIDs
+	StaleReclaimed       uint64 // late completions for already-reclaimed tags
 	Reclaimed            uint64 // quarantined CIDs recycled without a completion
 	PRPErrors            uint64 // bios failed at PRP build
 }
+
+// lostCID is one quarantined tag: the generation of the attempt that lost
+// it, and when the quarantine began.
+type lostCID struct {
+	gen   uint32
+	since sim.Time
+}
+
+// genDW is the otherwise-reserved command dword carrying the submission
+// generation; the device echoes it in the completion's DW0 result, which
+// is what lets the driver tell a reclaimed tag's late completion from its
+// new occupant's.
+const genDW = 3
 
 type pendingBio struct {
 	bio       *Bio
@@ -107,6 +140,7 @@ type pendingBio struct {
 	base      uint64
 	cmd       nvme.Command // retryable command image (CID rewritten per attempt)
 	attempts  int          // submissions so far
+	gen       uint32       // generation of the current attempt
 }
 
 // NewNVMeBlockDev creates the host block device over a partition of the
@@ -128,7 +162,7 @@ func NewNVMeBlockDev(env *sim.Env, part device.Partition, cpu *sim.CPU, irqCore 
 		shift:    part.Dev.Params().LBAShift,
 
 		rec:       DefaultRecovery(),
-		lost:      make(map[uint16]sim.Time),
+		lost:      make(map[uint16]lostCID),
 		retryCond: sim.NewCond(env),
 	}
 	d.qp = part.Dev.CreateQueuePair(1024, hostmem)
@@ -142,7 +176,14 @@ func NewNVMeBlockDev(env *sim.Env, part device.Partition, cpu *sim.CPU, irqCore 
 }
 
 // SetRecovery replaces the error-recovery policy (before or between I/O).
-func (d *NVMeBlockDev) SetRecovery(rec Recovery) { d.rec = rec }
+// Invalid policies are rejected and the previous policy stays active.
+func (d *NVMeBlockDev) SetRecovery(rec Recovery) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	d.rec = rec
+	return nil
+}
 
 // Recovery returns the active error-recovery policy.
 func (d *NVMeBlockDev) Recovery() Recovery { return d.rec }
@@ -220,8 +261,13 @@ func (d *NVMeBlockDev) SubmitBio(p *sim.Proc, thread *sim.Thread, b *Bio) {
 }
 
 // push installs pend under cid, submits its command and arms the deadline.
+// Every attempt is stamped with a fresh generation so the irq handler can
+// match completions to the attempt that earned them.
 func (d *NVMeBlockDev) push(cid uint16, pend *pendingBio) {
 	pend.attempts++
+	d.genSeq++
+	pend.gen = d.genSeq
+	pend.cmd.SetCDW(genDW, pend.gen)
 	pend.cmd.SetCID(cid)
 	d.inflight[cid] = pend
 	for !d.qp.SQ.Push(&pend.cmd) {
@@ -254,7 +300,7 @@ func (d *NVMeBlockDev) armDeadline(cid uint16, pend *pendingBio) {
 func (d *NVMeBlockDev) onTimeout(cid uint16, pend *pendingBio) {
 	d.Timeouts++
 	delete(d.inflight, cid)
-	d.quarantine(cid)
+	d.quarantine(cid, pend.gen)
 	if pend.attempts > d.rec.MaxRetries {
 		d.Aborts++
 		d.finishBio(pend, nvme.SCAbortRequested)
@@ -268,12 +314,15 @@ func (d *NVMeBlockDev) onTimeout(cid uint16, pend *pendingBio) {
 }
 
 // quarantine parks a lost CID until its completion shows up or the reclaim
-// window expires (the stand-in for a queue reset reclaiming tags).
-func (d *NVMeBlockDev) quarantine(cid uint16) {
-	since := d.env.Now()
-	d.lost[cid] = since
+// window expires (the stand-in for a queue reset reclaiming tags). The
+// generation of the lost attempt is remembered so a completion arriving
+// after reclaim — when the tag may already have a new occupant — can be
+// recognized as stale by its generation echo instead of being delivered.
+func (d *NVMeBlockDev) quarantine(cid uint16, gen uint32) {
+	entry := lostCID{gen: gen, since: d.env.Now()}
+	d.lost[cid] = entry
 	d.env.After(d.rec.Reclaim, func() {
-		if t, ok := d.lost[cid]; ok && t == since {
+		if e, ok := d.lost[cid]; ok && e == entry {
 			delete(d.lost, cid)
 			d.Reclaimed++
 			d.freeCIDs = append(d.freeCIDs, cid)
@@ -309,16 +358,21 @@ func (d *NVMeBlockDev) irqLoop(p *sim.Proc) {
 		for d.qp.CQ.Pop(&e) {
 			d.irq.Exec(p, d.costs.Complete)
 			cid := e.CID()
+			gen := e.Result() // the device echoes the submission generation
 			pend := d.inflight[cid]
-			if pend == nil {
-				// A completion for a CID we no longer track: either the
-				// late arrival of a timed-out command (release its
-				// quarantined tag) or entirely unknown (ignore).
-				if _, ok := d.lost[cid]; ok {
+			if pend == nil || pend.gen != gen {
+				// A completion that doesn't belong to the tag's current
+				// occupant: the late arrival of a timed-out attempt.
+				if le, ok := d.lost[cid]; ok && le.gen == gen {
+					// Still quarantined: release the tag.
 					delete(d.lost, cid)
 					d.Stale++
 					d.freeCIDs = append(d.freeCIDs, cid)
 					d.waitCID.Signal(nil)
+				} else {
+					// The tag was already reclaimed (and possibly reused
+					// by pend): count it stale, never deliver it.
+					d.StaleReclaimed++
 				}
 				continue
 			}

@@ -88,6 +88,76 @@ func TestStuckCompletionCountedStale(t *testing.T) {
 	}
 }
 
+// A completion surfacing after its CID was quarantined AND reclaimed —
+// with the tag already reissued to a new command — must be counted
+// StaleReclaimed and dropped, never delivered to the tag's new occupant.
+// The generation stamp carried in the command (and echoed in the
+// completion) is what disambiguates the two uses of the tag.
+func TestReclaimedTagNotMisattributed(t *testing.T) {
+	env, bdev, th := faultBed(fault.NewPlan(1).WithStuck(1, 1, 3*sim.Millisecond))
+	// No retries and a short quarantine: the stuck command's tag is back in
+	// circulation long before its held completion surfaces at ~3 ms.
+	if err := bdev.SetRecovery(blockdev.Recovery{
+		Timeout:    200 * sim.Microsecond,
+		MaxRetries: 0,
+		Backoff:    50 * sim.Microsecond,
+		Reclaim:    500 * sim.Microsecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runP(t, env, func(p *sim.Proc) {
+		// The write's completion is held for 3 ms; it aborts at ~200 µs and
+		// its CID is quarantined, then reclaimed at ~700 µs.
+		if st := wait(p, th, bdev, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)}); st != nvme.SCAbortRequested {
+			t.Fatalf("stuck write: %v, want AbortRequested", st)
+		}
+		// Reissue the reclaimed tag, timed so the read is in flight when the
+		// held completion for the tag's previous occupant finally surfaces.
+		p.Sleep(2750 * sim.Microsecond)
+		if st := wait(p, th, bdev, &blockdev.Bio{Op: blockdev.BioRead, Sector: 8, Data: make([]byte, 4096)}); !st.OK() {
+			t.Fatalf("read on reused tag: %v", st)
+		}
+		// Let any residual completions surface.
+		p.Sleep(5 * sim.Millisecond)
+	})
+	if bdev.Aborts != 1 || bdev.Reclaimed != 1 {
+		t.Fatalf("aborts=%d reclaimed=%d, want 1/1", bdev.Aborts, bdev.Reclaimed)
+	}
+	if bdev.StaleReclaimed != 1 {
+		t.Fatalf("stale_reclaimed=%d, want 1: the held completion was not absorbed", bdev.StaleReclaimed)
+	}
+	if bdev.Stale != 0 {
+		t.Fatalf("stale=%d: the held completion matched a live quarantine entry", bdev.Stale)
+	}
+	if bdev.Completed != 2 {
+		t.Fatalf("completed=%d, want exactly the abort and the reissued read", bdev.Completed)
+	}
+}
+
+// Install-time validation of the driver's recovery policy.
+func TestRecoveryValidation(t *testing.T) {
+	env, bdev, _ := faultBed(fault.NewPlan(1))
+	defer env.Close()
+	old := bdev.Recovery()
+	if err := bdev.SetRecovery(blockdev.Recovery{Timeout: sim.Millisecond, MaxRetries: -1}); err == nil {
+		t.Fatal("negative MaxRetries accepted")
+	}
+	if err := bdev.SetRecovery(blockdev.Recovery{Timeout: -sim.Millisecond}); err == nil {
+		t.Fatal("negative Timeout accepted")
+	}
+	// Reclaim shorter than the timeout reopens the misattribution window:
+	// a tag could recirculate while its completion is merely late.
+	if err := bdev.SetRecovery(blockdev.Recovery{
+		Timeout: sim.Millisecond,
+		Reclaim: 500 * sim.Microsecond,
+	}); err == nil {
+		t.Fatal("Reclaim < Timeout accepted")
+	}
+	if bdev.Recovery() != old {
+		t.Fatal("rejected policy replaced the active one")
+	}
+}
+
 // Media errors are final statuses, not lost completions: they propagate to
 // the issuer without consuming the retry budget.
 func TestMediaErrorPropagates(t *testing.T) {

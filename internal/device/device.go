@@ -196,7 +196,10 @@ func (d *Device) jittered(base sim.Duration) sim.Duration {
 
 func (d *Device) handle(p *sim.Proc, st *queueState, cmd nvme.Command) {
 	status := nvme.SCSuccess
-	var result uint32
+	// DW0 is command-specific in real NVMe; this controller echoes the
+	// reserved CDW3 so drivers can stamp a submission generation there
+	// and detect late completions for reclaimed tags (blockdev quarantine).
+	result := cmd.CDW(3)
 
 	// Controller frontend: command fetch, decode, DMA descriptor setup.
 	d.ctrl.Use(p, d.p.CtrlOver)

@@ -6,8 +6,10 @@
 package device
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 )
 
 // Store is the persistence layer behind a namespace, addressed in logical
@@ -100,6 +102,38 @@ func (s *MemStore) TrimBlocks(lba uint64, blocks uint32) {
 
 // Resident reports the number of materialized chunks (for memory tests).
 func (s *MemStore) Resident() int { return len(s.chunks) }
+
+// ContentCRC fingerprints the store's logical contents: chunks are hashed
+// in LBA order and all-zero chunks are skipped, so two stores holding the
+// same bytes produce the same CRC even if one materialized a chunk the
+// other never touched. Mirror-consistency tests compare primary and
+// secondary with it.
+func (s *MemStore) ContentCRC() uint32 {
+	ids := make([]uint64, 0, len(s.chunks))
+	for cn := range s.chunks {
+		ids = append(ids, cn)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var idbuf [8]byte
+	crc := crc32.NewIEEE()
+	for _, cn := range ids {
+		c := s.chunks[cn]
+		allZero := true
+		for _, b := range c {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue
+		}
+		binary.LittleEndian.PutUint64(idbuf[:], cn)
+		crc.Write(idbuf[:])
+		crc.Write(c)
+	}
+	return crc.Sum32()
+}
 
 // CRCStore records a CRC32 per written block but discards contents, bounding
 // host memory during throughput benchmarks. Reads return zeros; Verify lets

@@ -41,6 +41,29 @@ func (s *CounterSet) Total() uint64 {
 // Names returns the counter names in insertion order.
 func (s *CounterSet) Names() []string { return append([]string(nil), s.names...) }
 
+// Merge accumulates every counter of other into s, preserving other's
+// insertion order for names new to s — aggregating per-run records into
+// a campaign total keeps the rendering stable.
+func (s *CounterSet) Merge(other *CounterSet) {
+	for _, n := range other.names {
+		s.Add(n, other.vals[n])
+	}
+}
+
+// Equal reports whether both sets hold the same counters with the same
+// values in the same order — the determinism check for same-seed runs.
+func (s *CounterSet) Equal(other *CounterSet) bool {
+	if len(s.names) != len(other.names) {
+		return false
+	}
+	for i, n := range s.names {
+		if other.names[i] != n || s.vals[n] != other.vals[n] {
+			return false
+		}
+	}
+	return true
+}
+
 // String renders "name=value" pairs in insertion order — a deterministic
 // fault-trace fingerprint.
 func (s *CounterSet) String() string {

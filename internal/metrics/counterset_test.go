@@ -20,3 +20,34 @@ func TestCounterSetOrderAndString(t *testing.T) {
 		t.Fatalf("Names: %v", n)
 	}
 }
+
+func TestCounterSetMergeAndEqual(t *testing.T) {
+	var a, b CounterSet
+	a.Add("x", 1)
+	a.Add("y", 2)
+	b.Add("y", 3)
+	b.Add("z", 4)
+	a.Merge(&b)
+	if got := a.String(); got != "x=1 y=5 z=4" {
+		t.Fatalf("Merge: %q", got)
+	}
+
+	var c, d CounterSet
+	c.Add("x", 1)
+	c.Add("y", 2)
+	d.Add("x", 1)
+	d.Add("y", 2)
+	if !c.Equal(&d) {
+		t.Fatal("identical sets not Equal")
+	}
+	d.Add("y", 1)
+	if c.Equal(&d) {
+		t.Fatal("differing values Equal")
+	}
+	var e CounterSet
+	e.Add("y", 2)
+	e.Add("x", 1)
+	if c.Equal(&e) {
+		t.Fatal("differing order Equal")
+	}
+}

@@ -210,6 +210,7 @@ type Initiator struct {
 	PerCmd sim.Duration
 	rec    InitiatorRecovery
 	pend   []*ofPending // FIFO; deterministic requeue order
+	onUp   []func()     // upper-layer reconnect hooks (e.g. resync triggers)
 
 	// Stats
 	Sent           uint64
@@ -227,11 +228,39 @@ func NewInitiator(env *sim.Env, link *Link, tgt *Target) *Initiator {
 	return i
 }
 
+// Validate rejects policies that would silently misbehave rather than
+// recover: retrying a negative number of times or arming negative timers.
+func (rec InitiatorRecovery) Validate() error {
+	if rec.MaxRetries < 0 {
+		return fmt.Errorf("nvmeof: negative MaxRetries %d", rec.MaxRetries)
+	}
+	if rec.Timeout < 0 {
+		return fmt.Errorf("nvmeof: negative Timeout %v", rec.Timeout)
+	}
+	if rec.Backoff < 0 {
+		return fmt.Errorf("nvmeof: negative Backoff %v", rec.Backoff)
+	}
+	return nil
+}
+
 // SetRecovery replaces the recovery policy (call before traffic starts).
-func (i *Initiator) SetRecovery(rec InitiatorRecovery) { i.rec = rec }
+// Invalid policies are rejected and the previous policy stays active.
+func (i *Initiator) SetRecovery(rec InitiatorRecovery) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	i.rec = rec
+	return nil
+}
 
 // Recovery returns the active recovery policy.
 func (i *Initiator) Recovery() InitiatorRecovery { return i.rec }
+
+// OnReconnect registers fn to run each time an outage window closes,
+// *after* the initiator has requeued its own in-flight commands — so a
+// resync engine triggered from here sees a fabric that already carries
+// the requeued foreground traffic.
+func (i *Initiator) OnReconnect(fn func()) { i.onUp = append(i.onUp, fn) }
 
 // NumSectors implements BlockDevice.
 func (i *Initiator) NumSectors() uint64 { return i.tgt.bdev.NumSectors() }
@@ -342,6 +371,9 @@ func (i *Initiator) onLinkUp() {
 		}
 		i.Requeues++
 		i.send(pe)
+	}
+	for _, fn := range i.onUp {
+		fn()
 	}
 }
 

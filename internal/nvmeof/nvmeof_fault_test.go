@@ -104,3 +104,171 @@ func TestLateResponseCountedStale(t *testing.T) {
 		t.Fatal("expected at least one timeout-driven resend")
 	}
 }
+
+// Overlapping outage windows: the first window's link-up fires while the
+// second window is already active, so its requeue is dropped too; only
+// the second link-up completes the command.
+func TestOverlappingOutagesRequeueTwice(t *testing.T) {
+	env, th, init, _, link := remoteBed()
+	link.ScheduleOutage(0, 5*sim.Millisecond)
+	link.ScheduleOutage(sim.Time(0).Add(3*sim.Millisecond), 5*sim.Millisecond) // closes at 8 ms
+	runP(t, env, func(p *sim.Proc) {
+		start := p.Now()
+		st := bioWait(p, th, init, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)})
+		if !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		el := p.Now().Sub(start)
+		if el < 8*sim.Millisecond {
+			t.Fatalf("completed in %v, inside the merged outage", el)
+		}
+		if el > 15*sim.Millisecond {
+			t.Fatalf("completed in %v: waited for a timeout instead of the second link-up", el)
+		}
+	})
+	if init.Reconnects != 2 || init.Requeues != 2 {
+		t.Fatalf("reconnects=%d requeues=%d, want 2/2", init.Reconnects, init.Requeues)
+	}
+	if init.Failures != 0 {
+		t.Fatalf("failures=%d", init.Failures)
+	}
+	if link.Drops[nvmeof.DirToTarget] != 2 {
+		t.Fatalf("drops=%d, want 2 (original + first requeue)", link.Drops[nvmeof.DirToTarget])
+	}
+}
+
+// Adjacent (back-to-back) outage windows: the first window's link-up
+// coincides with the second window's start, so the requeued capsule
+// departs into a down link and is dropped; the command completes after
+// the second window closes. The first OnUp firing while commands are
+// still unresendable must not double-complete or fail anything.
+func TestAdjacentOutagesRequeueTwice(t *testing.T) {
+	env, th, init, _, link := remoteBed()
+	link.ScheduleOutage(0, 4*sim.Millisecond)
+	link.ScheduleOutage(sim.Time(0).Add(4*sim.Millisecond), 4*sim.Millisecond)
+	runP(t, env, func(p *sim.Proc) {
+		start := p.Now()
+		st := bioWait(p, th, init, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)})
+		if !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		if el := p.Now().Sub(start); el < 8*sim.Millisecond || el > 15*sim.Millisecond {
+			t.Fatalf("completed in %v, want just after the 8 ms mark", el)
+		}
+	})
+	if init.Reconnects != 2 || init.Requeues != 2 {
+		t.Fatalf("reconnects=%d requeues=%d, want 2/2", init.Reconnects, init.Requeues)
+	}
+	if init.Failures != 0 {
+		t.Fatalf("failures=%d", init.Failures)
+	}
+}
+
+// A link-up callback firing while a command sits in its resend backoff:
+// the requeue resends immediately (bumping the attempt), and the stale
+// backoff timer must notice the superseded attempt and not resend again.
+func TestLinkUpPreemptsPendingResend(t *testing.T) {
+	env, th, init, _, link := remoteBed()
+	link.ScheduleOutage(0, sim.Millisecond)
+	// Timeout fires at 300 µs, arming a 4 ms backoff that is still
+	// pending when the link comes back at 1 ms.
+	if err := init.SetRecovery(nvmeof.InitiatorRecovery{
+		Timeout:    300 * sim.Microsecond,
+		MaxRetries: 5,
+		Backoff:    4 * sim.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	completions := 0
+	runP(t, env, func(p *sim.Proc) {
+		c := sim.NewCond(env)
+		b := &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)}
+		b.OnDone = func(st nvme.Status) {
+			if !st.OK() {
+				t.Errorf("status %v", st)
+			}
+			completions++
+			c.Signal(nil)
+		}
+		init.SubmitBio(p, th, b)
+		start := p.Now()
+		for completions == 0 {
+			c.Wait()
+		}
+		if el := p.Now().Sub(start); el < sim.Millisecond || el > 3*sim.Millisecond {
+			t.Fatalf("completed in %v, want just after the 1 ms link-up", el)
+		}
+		// Let the stale backoff timer (due at ~4.3 ms) fire and prove
+		// itself harmless.
+		p.Sleep(10 * sim.Millisecond)
+	})
+	if completions != 1 {
+		t.Fatalf("bio completed %d times", completions)
+	}
+	if init.Requeues != 1 {
+		t.Fatalf("requeues=%d, want 1", init.Requeues)
+	}
+	if init.Retries != 0 {
+		t.Fatalf("retries=%d: the superseded backoff still resent", init.Retries)
+	}
+}
+
+// A link-up firing while timeout-driven resends are mid-flight: every
+// attempt during the outage is dropped, the requeue after link-up
+// completes the command exactly once.
+func TestLinkUpAfterRepeatedResends(t *testing.T) {
+	env, th, init, _, link := remoteBed()
+	link.ScheduleOutage(0, sim.Millisecond)
+	if err := init.SetRecovery(nvmeof.InitiatorRecovery{
+		Timeout:    150 * sim.Microsecond,
+		MaxRetries: 20,
+		Backoff:    50 * sim.Microsecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	completions := 0
+	runP(t, env, func(p *sim.Proc) {
+		c := sim.NewCond(env)
+		b := &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)}
+		b.OnDone = func(st nvme.Status) {
+			if !st.OK() {
+				t.Errorf("status %v", st)
+			}
+			completions++
+			c.Signal(nil)
+		}
+		init.SubmitBio(p, th, b)
+		for completions == 0 {
+			c.Wait()
+		}
+		p.Sleep(10 * sim.Millisecond)
+	})
+	if completions != 1 {
+		t.Fatalf("bio completed %d times", completions)
+	}
+	if init.Retries < 2 {
+		t.Fatalf("retries=%d, want several timeout-driven resends during the outage", init.Retries)
+	}
+	if init.Requeues != 1 || init.Failures != 0 {
+		t.Fatalf("requeues=%d failures=%d, want 1/0", init.Requeues, init.Failures)
+	}
+}
+
+// Install-time validation of the initiator's recovery policy.
+func TestInitiatorRecoveryValidation(t *testing.T) {
+	env, _, init, _, _ := remoteBed()
+	defer env.Close()
+	old := init.Recovery()
+	if err := init.SetRecovery(nvmeof.InitiatorRecovery{Timeout: sim.Millisecond, MaxRetries: -1}); err == nil {
+		t.Fatal("negative MaxRetries accepted")
+	}
+	if err := init.SetRecovery(nvmeof.InitiatorRecovery{Timeout: -sim.Millisecond}); err == nil {
+		t.Fatal("negative Timeout accepted")
+	}
+	if err := init.SetRecovery(nvmeof.InitiatorRecovery{Timeout: sim.Millisecond, Backoff: -1}); err == nil {
+		t.Fatal("negative Backoff accepted")
+	}
+	if init.Recovery() != old {
+		t.Fatal("rejected policy replaced the active one")
+	}
+}

@@ -1,9 +1,12 @@
 package storfn
 
+import "sort"
+
 // DirtyRegions tracks guest LBA ranges whose secondary copy is stale —
 // writes that were acknowledged from the primary alone while the mirror
-// leg was failing. A resync pass would replay exactly these regions.
-// Ranges are kept sorted and coalesced.
+// leg was failing. The resync engine replays exactly these regions.
+// Ranges are kept sorted, pairwise disjoint and coalesced (no two regions
+// touch), so membership and insertion use binary search.
 type DirtyRegions struct {
 	regions []dirtyRegion
 }
@@ -12,37 +15,69 @@ type dirtyRegion struct {
 	lba, end uint64 // [lba, end)
 }
 
+// Range is one dirty extent, exported for resync drainers.
+type Range struct {
+	LBA    uint64
+	Blocks uint64
+}
+
 // Add marks [lba, lba+blocks) dirty, merging with adjacent or overlapping
-// regions.
+// regions. The insertion point is found by binary search; only regions
+// that actually touch the new range are merged.
 func (d *DirtyRegions) Add(lba uint64, blocks uint64) {
 	if blocks == 0 {
 		return
 	}
 	nr := dirtyRegion{lba: lba, end: lba + blocks}
-	out := make([]dirtyRegion, 0, len(d.regions)+1)
-	for _, r := range d.regions {
-		switch {
-		case r.end < nr.lba: // strictly before, not touching
-			out = append(out, r)
-		case nr.end < r.lba: // strictly after, not touching
-			if nr.lba != nr.end {
-				out = append(out, nr)
-				nr = dirtyRegion{lba: nr.end, end: nr.end} // emitted
-			}
-			out = append(out, r)
-		default: // overlapping or adjacent: merge into nr
-			if r.lba < nr.lba {
-				nr.lba = r.lba
-			}
-			if r.end > nr.end {
-				nr.end = r.end
-			}
+	// First region that touches or follows nr: adjacency (end == lba)
+	// merges, so the predicate is end >= lba.
+	lo := sort.Search(len(d.regions), func(i int) bool { return d.regions[i].end >= nr.lba })
+	hi := lo
+	for hi < len(d.regions) && d.regions[hi].lba <= nr.end {
+		if d.regions[hi].lba < nr.lba {
+			nr.lba = d.regions[hi].lba
 		}
+		if d.regions[hi].end > nr.end {
+			nr.end = d.regions[hi].end
+		}
+		hi++
 	}
-	if nr.lba != nr.end {
-		out = append(out, nr)
+	if lo == hi { // no overlap: insert at lo
+		d.regions = append(d.regions, dirtyRegion{})
+		copy(d.regions[lo+1:], d.regions[lo:])
+		d.regions[lo] = nr
+		return
 	}
-	d.regions = out
+	d.regions[lo] = nr
+	d.regions = append(d.regions[:lo+1], d.regions[hi:]...)
+}
+
+// Remove clears [lba, lba+blocks), splitting any region it punches a hole
+// into. The resync drainer removes a chunk before copying it, so a guest
+// write racing the copy re-dirties exactly the overlap.
+func (d *DirtyRegions) Remove(lba uint64, blocks uint64) {
+	if blocks == 0 {
+		return
+	}
+	end := lba + blocks
+	// First region with any overlap (strict: adjacency is untouched).
+	lo := sort.Search(len(d.regions), func(i int) bool { return d.regions[i].end > lba })
+	hi := lo
+	var frags []dirtyRegion // surviving fragments of clipped regions (≤ 2)
+	for hi < len(d.regions) && d.regions[hi].lba < end {
+		r := d.regions[hi]
+		if r.lba < lba {
+			frags = append(frags, dirtyRegion{lba: r.lba, end: lba})
+		}
+		if r.end > end {
+			frags = append(frags, dirtyRegion{lba: end, end: r.end})
+		}
+		hi++
+	}
+	if lo == hi {
+		return
+	}
+	d.regions = append(d.regions[:lo], append(frags, d.regions[hi:]...)...)
 }
 
 // Regions returns the number of coalesced dirty regions.
@@ -59,10 +94,15 @@ func (d *DirtyRegions) Blocks() uint64 {
 
 // Contains reports whether block lba is dirty.
 func (d *DirtyRegions) Contains(lba uint64) bool {
-	for _, r := range d.regions {
-		if lba >= r.lba && lba < r.end {
-			return true
-		}
+	i := sort.Search(len(d.regions), func(i int) bool { return d.regions[i].end > lba })
+	return i < len(d.regions) && d.regions[i].lba <= lba
+}
+
+// Ranges returns a snapshot of the dirty extents in LBA order.
+func (d *DirtyRegions) Ranges() []Range {
+	out := make([]Range, len(d.regions))
+	for i, r := range d.regions {
+		out[i] = Range{LBA: r.lba, Blocks: r.end - r.lba}
 	}
-	return false
+	return out
 }

@@ -1,0 +1,103 @@
+package storfn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// dirtyInvariants checks the structural invariants: sorted, non-empty,
+// pairwise disjoint and coalesced (no two regions touch).
+func dirtyInvariants(t *testing.T, d *DirtyRegions) {
+	t.Helper()
+	for i, r := range d.regions {
+		if r.lba >= r.end {
+			t.Fatalf("region %d empty or inverted: [%d,%d)", i, r.lba, r.end)
+		}
+		if i > 0 && d.regions[i-1].end >= r.lba {
+			t.Fatalf("regions %d and %d overlap or touch: [%d,%d) [%d,%d)",
+				i-1, i, d.regions[i-1].lba, d.regions[i-1].end, r.lba, r.end)
+		}
+	}
+}
+
+// TestDirtyRegionsPropertyVsBitmap drives random Add/Remove sequences
+// against a naive per-block bitmap model and checks that membership,
+// totals and the Ranges() snapshot agree after every operation.
+func TestDirtyRegionsPropertyVsBitmap(t *testing.T) {
+	const domain = 300
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var d DirtyRegions
+		model := make([]bool, domain)
+		for op := 0; op < 200; op++ {
+			lba := uint64(rng.Intn(domain - 1))
+			blocks := uint64(rng.Intn(40))
+			if lba+blocks > domain {
+				blocks = domain - lba
+			}
+			if rng.Intn(3) == 0 {
+				d.Remove(lba, blocks)
+				for b := lba; b < lba+blocks; b++ {
+					model[b] = false
+				}
+			} else {
+				d.Add(lba, blocks)
+				for b := lba; b < lba+blocks; b++ {
+					model[b] = true
+				}
+			}
+			dirtyInvariants(t, &d)
+
+			var want uint64
+			for b := 0; b < domain; b++ {
+				if model[b] {
+					want++
+				}
+				if d.Contains(uint64(b)) != model[b] {
+					t.Fatalf("trial %d op %d: Contains(%d)=%v, model=%v",
+						trial, op, b, d.Contains(uint64(b)), model[b])
+				}
+			}
+			if got := d.Blocks(); got != want {
+				t.Fatalf("trial %d op %d: Blocks()=%d, model=%d", trial, op, got, want)
+			}
+			var fromRanges uint64
+			for _, r := range d.Ranges() {
+				fromRanges += r.Blocks
+				for b := r.LBA; b < r.LBA+r.Blocks; b++ {
+					if !model[b] {
+						t.Fatalf("trial %d op %d: Ranges() reports clean block %d dirty", trial, op, b)
+					}
+				}
+			}
+			if fromRanges != want {
+				t.Fatalf("trial %d op %d: Ranges() covers %d blocks, model has %d", trial, op, fromRanges, want)
+			}
+		}
+	}
+}
+
+// TestDirtyRegionsRemoveSplits checks the three clipping shapes directly:
+// removing the middle splits, removing an edge trims, removing across
+// regions deletes whole ones.
+func TestDirtyRegionsRemoveSplits(t *testing.T) {
+	var d DirtyRegions
+	d.Add(10, 20) // [10,30)
+	d.Remove(15, 5)
+	if d.Regions() != 2 || d.Blocks() != 15 {
+		t.Fatalf("mid-hole: regions=%d blocks=%d, want 2/15", d.Regions(), d.Blocks())
+	}
+	d.Remove(10, 3) // trim left edge of [10,15)
+	if d.Contains(10) || d.Contains(12) || !d.Contains(13) {
+		t.Fatalf("left trim wrong: %v", d.Ranges())
+	}
+	d.Add(100, 10)
+	d.Remove(0, 200) // wipe everything
+	if d.Regions() != 0 || d.Blocks() != 0 {
+		t.Fatalf("full wipe left %v", d.Ranges())
+	}
+	d.Remove(0, 10) // removing from empty set is a no-op
+	if d.Regions() != 0 {
+		t.Fatalf("remove on empty set grew regions")
+	}
+}

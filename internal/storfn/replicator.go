@@ -25,6 +25,10 @@ type Replicator struct {
 	// Dirty is the set of guest LBA ranges whose secondary copy is stale.
 	Dirty DirtyRegions
 
+	// resync, when attached (NewResyncer), observes secondary-leg
+	// outcomes to drive the mirror-consistency state machine.
+	resync *Resyncer
+
 	// Stats
 	Forwarded       uint64
 	Degraded        uint64 // guest writes acknowledged from the primary alone
@@ -55,7 +59,14 @@ func (r *Replicator) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, 
 			r.SecondaryErrors++
 			r.Degraded++
 			r.Dirty.Add(lba, blocks)
+			if r.resync != nil {
+				r.resync.noteSecondaryFailure(lba, blocks)
+			}
 			st = nvme.SCSuccess
+		} else if r.resync != nil {
+			// A mirrored write that lands inside the in-flight resync
+			// window may be clobbered by the stale copy; re-dirty it.
+			r.resync.noteGuestWrite(lba, blocks)
 		}
 		req.CompleteAsync(st)
 	})

@@ -217,6 +217,25 @@ func (att *Attachment) Defer(fn func(p *sim.Proc, th *sim.Thread)) {
 	att.f.hint()
 }
 
+// submitRing installs w in the ring-completion table and submits the I/O.
+func (att *Attachment) submitRing(p *sim.Proc, th *sim.Thread, op blockdev.BioOp, sector uint64, data []byte, w ringWait) {
+	att.nextRingID++
+	id := att.nextRingID
+	att.pendingRing[id] = w
+	att.ring.Submit(p, th, op, sector, data, id)
+}
+
+// SubmitBackendIO queues an arbitrary backend ring I/O that is not tied
+// to a guest request — the resync engine uses it to read the secondary
+// and replay dirty chunks through the same ring (and ordering domain) as
+// the foreground mirror writes. Safe from any simulation context; andThen
+// runs on a polling thread when the I/O completes.
+func (att *Attachment) SubmitBackendIO(op blockdev.BioOp, sector uint64, data []byte, andThen func(p *sim.Proc, th *sim.Thread, st nvme.Status)) {
+	att.Defer(func(p *sim.Proc, th *sim.Thread) {
+		att.submitRing(p, th, op, sector, data, ringWait{andThen: andThen})
+	})
+}
+
 // --- Request accessors ----------------------------------------------------
 
 // Attachment returns the owning attachment, for queueing deferred work from
@@ -277,16 +296,10 @@ func (r *Request) CompleteAsync(st nvme.Status) {
 // via io_uring and completes the request with the write's status — the
 // paper's queue_writev path.
 func (r *Request) SubmitBackendWrite(p *sim.Proc, th *sim.Thread, data []byte) {
-	r.att.nextRingID++
-	id := r.att.nextRingID
-	r.att.pendingRing[id] = ringWait{tag: r.Tag}
-	r.att.ring.Submit(p, th, blockdev.BioWrite, r.Sector(), data, id)
+	r.att.submitRing(p, th, blockdev.BioWrite, r.Sector(), data, ringWait{tag: r.Tag})
 }
 
 // SubmitBackendWriteThen is SubmitBackendWrite with a custom continuation.
 func (r *Request) SubmitBackendWriteThen(p *sim.Proc, th *sim.Thread, data []byte, andThen func(p *sim.Proc, th *sim.Thread, st nvme.Status)) {
-	r.att.nextRingID++
-	id := r.att.nextRingID
-	r.att.pendingRing[id] = ringWait{tag: r.Tag, andThen: andThen}
-	r.att.ring.Submit(p, th, blockdev.BioWrite, r.Sector(), data, id)
+	r.att.submitRing(p, th, blockdev.BioWrite, r.Sector(), data, ringWait{tag: r.Tag, andThen: andThen})
 }
