@@ -1,0 +1,339 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmetro/internal/metrics"
+)
+
+// blk builds one block's payload: every byte is tag.
+func blk(bs int, tag byte) []byte {
+	return bytes.Repeat([]byte{tag}, bs)
+}
+
+// rng builds a multi-block payload where block i is filled with tag+i.
+func rng(bs, blocks int, tag byte) []byte {
+	out := make([]byte, 0, bs*blocks)
+	for i := 0; i < blocks; i++ {
+		out = append(out, blk(bs, tag+byte(i))...)
+	}
+	return out
+}
+
+func testCfg(capBlocks uint64) Config {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 16
+	cfg.CapacityBlocks = capBlocks
+	return cfg
+}
+
+func TestFillThenHit(t *testing.T) {
+	c := New(testCfg(64))
+	bs := int(c.BlockSize())
+	data := rng(bs, 4, 0x10)
+	id := c.BeginFill(100, 4)
+	if !c.CommitFill(id, data) {
+		t.Fatal("uncontested fill did not install")
+	}
+	buf := make([]byte, 4*bs)
+	if !c.Read(100, 4, buf) {
+		t.Fatal("read after fill missed")
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("hit returned wrong data")
+	}
+	// Partial residency is a miss: one block short of the range.
+	if c.Read(99, 2, make([]byte, 2*bs)) {
+		t.Fatal("partial residency served as a hit")
+	}
+	if c.Hits() != 4 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d, want 4/2", c.Hits(), c.Misses())
+	}
+}
+
+func TestWriteThroughInstallsOnEnd(t *testing.T) {
+	c := New(testCfg(64))
+	bs := int(c.BlockSize())
+	id := c.BeginFill(10, 2)
+	c.CommitFill(id, rng(bs, 2, 1))
+
+	w := c.BeginWrite(10, 2)
+	// The range must be invalid while the write is in flight.
+	if c.Read(10, 2, make([]byte, 2*bs)) {
+		t.Fatal("read hit inside an open write window")
+	}
+	newData := rng(bs, 2, 0x40)
+	c.EndWrite(w, newData)
+	buf := make([]byte, 2*bs)
+	if !c.Read(10, 2, buf) {
+		t.Fatal("write-through install missed")
+	}
+	if !bytes.Equal(buf, newData) {
+		t.Fatal("write-through installed stale data")
+	}
+}
+
+func TestWriteAroundOnlyInvalidates(t *testing.T) {
+	cfg := testCfg(64)
+	cfg.WritePolicy = WriteAround
+	c := New(cfg)
+	bs := int(c.BlockSize())
+	id := c.BeginFill(10, 2)
+	c.CommitFill(id, rng(bs, 2, 1))
+	w := c.BeginWrite(10, 2)
+	c.EndWrite(w, rng(bs, 2, 2))
+	if c.Read(10, 2, make([]byte, 2*bs)) {
+		t.Fatal("write-around left data resident")
+	}
+}
+
+func TestFailedWriteNeverInstalls(t *testing.T) {
+	c := New(testCfg(64))
+	w := c.BeginWrite(10, 2)
+	c.EndWrite(w, nil) // backend write failed
+	if c.Read(10, 2, make([]byte, 2*int(c.BlockSize()))) {
+		t.Fatal("failed write installed data")
+	}
+}
+
+// The three stale-fill interleavings: a fill whose lifetime overlaps a
+// write window must never install, regardless of ordering.
+func TestStaleFillInterleavings(t *testing.T) {
+	bs := 16
+	cases := []struct {
+		name string
+		run  func(c *Cache) bool // returns CommitFill's result
+	}{
+		{"write spans fill", func(c *Cache) bool {
+			f := c.BeginFill(0, 4)
+			w := c.BeginWrite(2, 4)
+			c.EndWrite(w, rng(bs, 4, 9))
+			return c.CommitFill(f, rng(bs, 4, 1))
+		}},
+		{"write still open at commit", func(c *Cache) bool {
+			w := c.BeginWrite(2, 4)
+			f := c.BeginFill(0, 4)
+			ok := c.CommitFill(f, rng(bs, 4, 1))
+			c.EndWrite(w, rng(bs, 4, 9))
+			return ok
+		}},
+		{"write opens and closes inside fill", func(c *Cache) bool {
+			f := c.BeginFill(0, 4)
+			w := c.BeginWrite(2, 4)
+			c.EndWrite(w, nil)
+			return c.CommitFill(f, rng(bs, 4, 1))
+		}},
+		{"write closes between fill begin and commit", func(c *Cache) bool {
+			w := c.BeginWrite(2, 4)
+			f := c.BeginFill(0, 4)
+			c.EndWrite(w, nil)
+			return c.CommitFill(f, rng(bs, 4, 1))
+		}},
+	}
+	for _, tc := range cases {
+		c := New(testCfg(64))
+		if tc.run(c) {
+			t.Fatalf("%s: conflicted fill installed", tc.name)
+		}
+		// Blocks 0 and 1 are covered only by the fill [0,4), not the write
+		// [2,6): if either is resident the dropped fill leaked data.
+		if c.Peek(0) != nil || c.Peek(1) != nil {
+			t.Fatalf("%s: stale fill data resident", tc.name)
+		}
+		var cs metrics.CounterSet
+		c.Collect(&cs)
+		if cs.Get("cache.conflicts") != 1 {
+			t.Fatalf("%s: conflicts=%d, want 1", tc.name, cs.Get("cache.conflicts"))
+		}
+	}
+}
+
+func TestNonOverlappingFillSurvivesWrite(t *testing.T) {
+	c := New(testCfg(64))
+	bs := int(c.BlockSize())
+	f := c.BeginFill(0, 2)
+	w := c.BeginWrite(10, 2) // disjoint range
+	c.EndWrite(w, rng(bs, 2, 9))
+	if !c.CommitFill(f, rng(bs, 2, 1)) {
+		t.Fatal("disjoint write cancelled an unrelated fill")
+	}
+}
+
+func TestEndWriteSkipsWhenWritesOverlap(t *testing.T) {
+	c := New(testCfg(64))
+	bs := int(c.BlockSize())
+	w1 := c.BeginWrite(0, 4)
+	w2 := c.BeginWrite(2, 4)
+	c.EndWrite(w1, rng(bs, 4, 1)) // w2 still open: install must be skipped
+	if c.Read(0, 1, make([]byte, bs)) {
+		t.Fatal("install happened under an overlapping write window")
+	}
+	c.EndWrite(w2, rng(bs, 4, 2)) // now unambiguous
+	buf := make([]byte, 4*bs)
+	if !c.Read(2, 4, buf) {
+		t.Fatal("final write did not install")
+	}
+	if !bytes.Equal(buf, rng(bs, 4, 2)) {
+		t.Fatal("final write installed wrong data")
+	}
+	var cs metrics.CounterSet
+	c.Collect(&cs)
+	if cs.Get("cache.write_skips") != 1 {
+		t.Fatalf("write_skips=%d, want 1", cs.Get("cache.write_skips"))
+	}
+}
+
+func TestInvalidateCancelsFills(t *testing.T) {
+	c := New(testCfg(64))
+	bs := int(c.BlockSize())
+	f := c.BeginFill(0, 4)
+	c.Invalidate(2, 1)
+	if c.CommitFill(f, rng(bs, 4, 1)) {
+		t.Fatal("fill survived an overlapping invalidation")
+	}
+}
+
+func TestAbortFill(t *testing.T) {
+	c := New(testCfg(64))
+	f := c.BeginFill(0, 4)
+	c.AbortFill(f)
+	if c.CommitFill(f, rng(int(c.BlockSize()), 4, 1)) {
+		t.Fatal("aborted fill committed")
+	}
+	var cs metrics.CounterSet
+	c.Collect(&cs)
+	if cs.Get("cache.fill_aborts") != 1 {
+		t.Fatalf("fill_aborts=%d, want 1", cs.Get("cache.fill_aborts"))
+	}
+}
+
+// OnEvict must run with no cache locks held: the callback re-enters the
+// cache (Invalidate takes the window mutex, Peek a shard mutex), which
+// deadlocks if eviction notification happens under either lock.
+func TestOnEvictRunsOutsideLocks(t *testing.T) {
+	cfg := testCfg(8) // tiny: every install evicts soon
+	cfg.Shards = 1
+	var evicted []uint64
+	var c *Cache
+	cfg.OnEvict = func(lba uint64) {
+		evicted = append(evicted, lba)
+		c.Peek(lba)
+		c.Invalidate(lba, 1) // no-op (already gone), but takes the locks
+	}
+	c = New(cfg)
+	bs := int(c.BlockSize())
+	for i := uint64(0); i < 64; i++ {
+		f := c.BeginFill(i, 1)
+		c.CommitFill(f, blk(bs, byte(i)))
+	}
+	if len(evicted) == 0 {
+		t.Fatal("tiny cache never evicted")
+	}
+	if c.Resident() > 8 {
+		t.Fatalf("resident=%d exceeds capacity 8", c.Resident())
+	}
+}
+
+func TestCollectDeterministicAcrossRuns(t *testing.T) {
+	run := func() (*metrics.CounterSet, *metrics.Histogram) {
+		c := New(testCfg(32))
+		bs := int(c.BlockSize())
+		for i := 0; i < 200; i++ {
+			lba := uint64(i*7) % 64
+			switch i % 5 {
+			case 0, 1:
+				f := c.BeginFill(lba, 2)
+				c.CommitFill(f, rng(bs, 2, byte(i)))
+			case 2:
+				w := c.BeginWrite(lba, 2)
+				c.EndWrite(w, rng(bs, 2, byte(i)))
+			case 3:
+				c.Read(lba, 2, make([]byte, 2*bs))
+			default:
+				c.Invalidate(lba, 1)
+			}
+		}
+		var cs metrics.CounterSet
+		c.Collect(&cs)
+		return &cs, c.ReuseHistogram()
+	}
+	a, ha := run()
+	b, hb := run()
+	if !a.Equal(b) {
+		t.Fatalf("same op sequence produced different counters:\n%s\n%s", a, b)
+	}
+	if !ha.Equal(hb) {
+		t.Fatalf("same op sequence produced different reuse histograms: %v vs %v", ha, hb)
+	}
+}
+
+// ARC keeps a re-read hot set resident through a one-shot scan; plain LRU
+// flushes it. Both must respect capacity.
+func TestARCScanResistance(t *testing.T) {
+	const capBlocks = 64
+	mk := func(pol func(int) ReplacementPolicy) *Cache {
+		cfg := testCfg(capBlocks)
+		cfg.Shards = 1
+		cfg.NewPolicy = pol
+		return New(cfg)
+	}
+	workload := func(c *Cache) int {
+		bs := int(c.BlockSize())
+		touch := func(lba uint64) {
+			buf := make([]byte, bs)
+			if !c.Read(lba, 1, buf) {
+				f := c.BeginFill(lba, 1)
+				c.CommitFill(f, blk(bs, byte(lba)))
+			}
+		}
+		// Establish a hot set re-read many times...
+		for round := 0; round < 8; round++ {
+			for lba := uint64(0); lba < 32; lba++ {
+				touch(lba)
+			}
+		}
+		// ...then scan a large cold range once.
+		for lba := uint64(1000); lba < 1000+256; lba++ {
+			touch(lba)
+		}
+		resident := 0
+		for lba := uint64(0); lba < 32; lba++ {
+			if c.Peek(lba) != nil {
+				resident++
+			}
+		}
+		return resident
+	}
+	arcKept := workload(mk(NewARC))
+	lruKept := workload(mk(NewLRU))
+	if arcKept <= lruKept {
+		t.Fatalf("ARC kept %d/32 hot blocks, LRU kept %d — ARC should resist the scan", arcKept, lruKept)
+	}
+	if arcKept < 24 {
+		t.Fatalf("ARC kept only %d/32 hot blocks through a scan", arcKept)
+	}
+}
+
+func TestGhostHitsObserved(t *testing.T) {
+	cfg := testCfg(8)
+	cfg.Shards = 1
+	cfg.NewPolicy = NewLRU
+	c := New(cfg)
+	bs := int(c.BlockSize())
+	fill := func(lba uint64) {
+		f := c.BeginFill(lba, 1)
+		c.CommitFill(f, blk(bs, byte(lba)))
+	}
+	for lba := uint64(0); lba < 12; lba++ {
+		fill(lba)
+	}
+	// Blocks 0..3 were evicted into the ghost list; refilling one is a
+	// ghost re-admission.
+	fill(0)
+	var cs metrics.CounterSet
+	c.Collect(&cs)
+	if cs.Get("cache.ghost_hits") == 0 {
+		t.Fatal("ghost re-admission not observed")
+	}
+}

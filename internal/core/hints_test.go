@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+func TestHotHintsHeatAndBuckets(t *testing.T) {
+	h := NewHotHints(3, 16) // 8-block buckets
+	if h.Heat(0) != 0 {
+		t.Fatal("untracked bucket should read 0")
+	}
+	h.SetHot(5, 7) // bucket 0
+	if h.Heat(0) != 7 || h.Heat(7) != 7 {
+		t.Fatal("all LBAs of a bucket share its heat")
+	}
+	if h.Heat(8) != 0 {
+		t.Fatal("next bucket must be independent")
+	}
+	if h.Bucket(17) != 2 {
+		t.Fatalf("bucket(17)=%d, want 2", h.Bucket(17))
+	}
+	h.SetHot(16, 3)
+	if h.Buckets() != 2 {
+		t.Fatalf("buckets=%d, want 2", h.Buckets())
+	}
+	h.Forget(5)
+	if h.Heat(0) != 0 || h.Buckets() != 1 {
+		t.Fatal("forget did not drop the bucket")
+	}
+}
+
+func TestHotHintsFullMapKeepsExisting(t *testing.T) {
+	h := NewHotHints(0, 2)
+	h.SetHot(1, 5)
+	h.SetHot(2, 5)
+	h.SetHot(3, 9) // map full: dropped, like the classifier's update
+	if h.Heat(3) != 0 {
+		t.Fatal("full map admitted a new bucket")
+	}
+	h.SetHot(1, 9) // existing bucket still updatable
+	if h.Heat(1) != 9 {
+		t.Fatal("full map refused an existing-bucket update")
+	}
+}

@@ -7,6 +7,7 @@ package fio
 
 import (
 	"fmt"
+	"math/rand"
 
 	"nvmetro/internal/metrics"
 	"nvmetro/internal/sim"
@@ -56,6 +57,10 @@ type Config struct {
 	Warmup    sim.Duration // discarded ramp-up
 	Duration  sim.Duration // measurement window
 	WorkSet   uint64       // bytes of device addressed per job (0 = 1 GiB)
+	// Zipf skews random offsets with a zipfian distribution of parameter
+	// s (> 1; fio's random_distribution=zipf:s). 0 keeps uniform offsets.
+	// Low slot numbers are hottest, so the hot set sits at region start.
+	Zipf float64
 }
 
 func (c Config) String() string {
@@ -87,6 +92,7 @@ type job struct {
 	regionLB uint64 // region start, in blocks
 	regionNB uint64 // region size, in blocks
 	seqCur   uint64
+	zipf     *rand.Zipf
 
 	inflight int
 	comp     *sim.Cond
@@ -175,6 +181,12 @@ func (j *job) nextLBA(blocks uint32) uint64 {
 	}
 	if j.cfg.Mode.Random() {
 		slots := j.regionNB / uint64(blocks)
+		if j.cfg.Zipf > 1 {
+			if j.zipf == nil {
+				j.zipf = rand.NewZipf(j.env.Rand(), j.cfg.Zipf, 1, slots-1)
+			}
+			return j.regionLB + j.zipf.Uint64()*uint64(blocks)
+		}
 		return j.regionLB + uint64(j.env.Rand().Int63n(int64(slots)))*uint64(blocks)
 	}
 	lba := j.regionLB + j.seqCur

@@ -138,3 +138,32 @@ func TestWorkSetBoundsOffsets(t *testing.T) {
 		}
 	}
 }
+
+func TestZipfSkewsOffsets(t *testing.T) {
+	env, cpu, v := bed()
+	defer env.Close()
+	d := &instantDisk{env: env, latency: 5 * sim.Microsecond}
+	ws := uint64(4 << 20) // 8192 blocks
+	fio.Run(env, cpu, []fio.Target{{Disk: d, VM: v, VCPU: v.VCPU(0)}},
+		fio.Config{Mode: fio.RandRead, BlockSize: 512, QD: 8, WorkSet: ws, Zipf: 1.2,
+			Warmup: 0, Duration: 10 * sim.Millisecond})
+	if len(d.lbas) < 1000 {
+		t.Fatalf("only %d IOs issued", len(d.lbas))
+	}
+	// A zipf(1.2) stream concentrates mass at low slots: a large share of
+	// all accesses must land in the first 1% of the region, and none may
+	// escape it.
+	hot, total := 0, 0
+	for _, lba := range d.lbas {
+		if lba >= ws/512 {
+			t.Fatalf("offset %d beyond working set", lba)
+		}
+		total++
+		if lba < ws/512/100 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(total); frac < 0.5 {
+		t.Fatalf("zipf skew too weak: %.2f of accesses in the hottest 1%%", frac)
+	}
+}

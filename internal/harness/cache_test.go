@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"testing"
+
+	hostcache "nvmetro/internal/cache"
+	"nvmetro/internal/fio"
+	"nvmetro/internal/storfn"
+)
+
+// End-to-end acceptance for the host block cache: the zipfian re-read
+// workload must serve most UIF reads from the cache, a cached hit must
+// be strictly faster than the device fast path at the guest, the
+// coherence probe (overwrite of a cached block, then re-read) must never
+// observe stale data, and same-seed runs must produce bit-identical
+// counter traces.
+func TestCacheE2EZipfReread(t *testing.T) {
+	o := Options{Quick: true, Seed: 7}
+	cp := storfn.DefaultCacheParams()
+	cfg := cacheCfg(o)
+
+	a := runCache(o, cp, cfg, 4)
+	if !a.drained {
+		t.Fatal("guest commands stuck in flight after the run (hang)")
+	}
+	if a.res.Errors != 0 {
+		t.Fatalf("guest saw %d I/O errors: %s", a.res.Errors, a.counters.String())
+	}
+	if a.hitRatio <= 0.5 {
+		t.Fatalf("zipf re-read hit ratio %.2f, want > 0.5: %s", a.hitRatio, a.counters.String())
+	}
+	if a.hitP50 <= 0 || a.fastP50 <= 0 || a.fillP50 <= 0 {
+		t.Fatalf("probe produced empty path latencies: hit=%v fast=%v fill=%v", a.hitP50, a.fastP50, a.fillP50)
+	}
+	// The whole point of the cache: a hit never touches the device, so it
+	// must beat the device fast path from the guest's point of view.
+	if a.hitP50 >= a.fastP50 {
+		t.Fatalf("cached hit p50 %v not below fast path p50 %v", a.hitP50, a.fastP50)
+	}
+	// A fill is a notify-path detour plus the backend read; it can only be
+	// slower than the direct fast path.
+	if a.fillP50 <= a.fastP50 {
+		t.Fatalf("fill p50 %v not above fast path p50 %v", a.fillP50, a.fastP50)
+	}
+	if !a.coherent {
+		t.Fatalf("coherence probe read stale data after overwriting a cached block: %s", a.counters.String())
+	}
+	if a.counters.Get("cacher.req_hits") == 0 || a.counters.Get("cache.installs") == 0 {
+		t.Fatalf("cache never engaged: %s", a.counters.String())
+	}
+
+	b := runCache(o, cp, cfg, 4)
+	if !a.counters.Equal(&b.counters) {
+		t.Fatalf("same seed produced different cache traces:\n%s\n%s",
+			a.counters.String(), b.counters.String())
+	}
+	if a.res.Ops != b.res.Ops {
+		t.Fatalf("same seed produced different op counts: %d/%d", a.res.Ops, b.res.Ops)
+	}
+}
+
+// Write-around must shed overwritten blocks (re-fill on next read) while
+// write-through keeps them servable; both must stay coherent.
+func TestCacheE2EWritePolicies(t *testing.T) {
+	o := Options{Quick: true, Seed: 7}
+	cfg := cacheCfg(o)
+	cfg.Mode = fio.RandRW
+
+	wt := runCache(o, storfn.DefaultCacheParams(), cfg, 4)
+	wa := storfn.DefaultCacheParams()
+	wa.Cache.WritePolicy = hostcache.WriteAround
+	war := runCache(o, wa, cfg, 4)
+
+	for _, r := range []struct {
+		name string
+		cr   cacheRun
+	}{{"write-through", wt}, {"write-around", war}} {
+		if !r.cr.drained || !r.cr.coherent {
+			t.Fatalf("%s: drained=%v coherent=%v", r.name, r.cr.drained, r.cr.coherent)
+		}
+	}
+	// Write-through re-installs overwritten blocks, write-around drops
+	// them, so under the same mixed workload it must re-fill more.
+	if war.counters.Get("cacher.req_fills") <= wt.counters.Get("cacher.req_fills") {
+		t.Fatalf("write-around fills (%d) not above write-through fills (%d)",
+			war.counters.Get("cacher.req_fills"), wt.counters.Get("cacher.req_fills"))
+	}
+}

@@ -19,6 +19,8 @@ func Table1LoC() *Table {
 	t.Add("Encryptor  | SGX UIF (Go)", float64(lc["sgx-uif"]))
 	t.Add("Replicator | Classifier (eBPF asm)", float64(lc["replicator-classifier"]))
 	t.Add("Replicator | UIF (Go)", float64(lc["replicator-uif"]))
+	t.Add("Cache      | Classifier (eBPF asm)", float64(lc["cache-classifier"]))
+	t.Add("Cache      | UIF (Go)", float64(lc["cache-uif"]))
 	t.Add("Partition  | Classifier (eBPF asm)", float64(lc["partition-classifier"]))
 	t.Add("Framework  | (Go)", float64(uif.FrameworkLines()))
 	t.Notes = "Paper (Table I): classifier 32/16, UIFs 520/501/307, framework 1116 lines."

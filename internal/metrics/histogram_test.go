@@ -69,6 +69,64 @@ func TestHistogramMergeMatchesCombined(t *testing.T) {
 	}
 }
 
+func TestHistogramEqual(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	if !a.Equal(b) {
+		t.Fatal("empty histograms must be equal")
+	}
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1 << 24))
+	}
+	for _, v := range vals {
+		a.Record(v)
+		b.Record(v)
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatalf("same recordings not equal: %v vs %v", a, b)
+	}
+	b.Record(vals[0])
+	if a.Equal(b) {
+		t.Fatal("different totals reported equal")
+	}
+	// Same count and sum but different value placement must still differ.
+	c, d := NewHistogram(), NewHistogram()
+	c.Record(1 << 20)
+	c.Record(3 << 20)
+	d.Record(2 << 20)
+	d.Record(2 << 20)
+	if c.Equal(d) {
+		t.Fatal("different distributions reported equal")
+	}
+}
+
+func TestHistogramMergeEqualsInterleaved(t *testing.T) {
+	// Merging per-shard histograms must be bit-identical to recording the
+	// same observations into one histogram — the property the cache's
+	// per-shard reuse aggregation depends on.
+	a, b, c := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.Intn(1 << 30))
+		if i%3 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		c.Record(v)
+	}
+	a.Merge(b)
+	if !a.Equal(c) {
+		t.Fatalf("merged %v != combined %v", a, c)
+	}
+	// Merging an empty histogram is a no-op.
+	a.Merge(NewHistogram())
+	if !a.Equal(c) {
+		t.Fatal("merging an empty histogram changed contents")
+	}
+}
+
 func TestHistogramReset(t *testing.T) {
 	h := NewHistogram()
 	h.Record(100)

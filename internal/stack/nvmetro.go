@@ -23,11 +23,12 @@ type NVMetro struct {
 	// gets its own router worker (the main evaluation setup).
 	SharedWorkers int
 
-	shared *core.Router
-	fw     *uif.Framework
-	setup  func(vc *core.Controller)
-	name   string
-	byVM   map[*vm.VM]*core.Controller
+	shared   *core.Router
+	fw       *uif.Framework
+	setup    func(vc *core.Controller)
+	name     string
+	byVM     map[*vm.VM]*core.Controller
+	byCacher map[*core.Controller]*storfn.Cacher
 }
 
 // NewNVMetro creates the basic configuration.
@@ -142,6 +143,39 @@ func (s *NVMetro) WithReplication(secondary func(part device.Partition) blockdev
 		s.framework(1).Attach(vc.AttachUIF(512), storfn.NewReplicator(), ring)
 	}
 	return s
+}
+
+// WithCache configures the classifier-steered host block cache: the cache
+// classifier tracks per-bucket read heat and diverts hot reads to a Cacher
+// UIF serving them from host memory; all writes pass through the UIF's
+// invalidation window so cached data can never go stale.
+func (s *NVMetro) WithCache(cp storfn.CacheParams) *NVMetro {
+	s.name = "NVMetro Cache"
+	if s.byCacher == nil {
+		s.byCacher = make(map[*core.Controller]*storfn.Cacher)
+	}
+	s.setup = func(vc *core.Controller) {
+		part := vc.Partition()
+		nq := vc.AttachUIF(512)
+		p := cp
+		p.Cache.BlockSize = uint32(1) << nq.BlockShift()
+		cacher := storfn.NewCacher(s.h.Env, p)
+		s.byCacher[vc] = cacher
+		prog, _ := storfn.CacheClassifier(part, cacher.Hints(), p.HotThreshold)
+		if err := vc.LoadClassifier(prog); err != nil {
+			panic(err)
+		}
+		bdev := blockdev.NewNVMeBlockDev(s.h.Env, device.WholeNamespace(part.Dev, part.NSID), s.h.CPU, s.h.guestCores, s.h.Params.Block)
+		ring := blockdev.NewURing(s.h.Env, bdev, s.h.Params.URing)
+		s.framework(2).Attach(nq, cacher, ring)
+	}
+	return s
+}
+
+// CacherFor returns the cache UIF provisioned for v's controller (stats,
+// cache and heat-map access), or nil when WithCache is not configured.
+func (s *NVMetro) CacherFor(v *vm.VM) *storfn.Cacher {
+	return s.byCacher[s.byVM[v]]
 }
 
 // RemoteHost is a second machine holding the replication secondary.

@@ -1,0 +1,376 @@
+package storfn
+
+import (
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/cache"
+	"nvmetro/internal/core"
+	"nvmetro/internal/device"
+	"nvmetro/internal/ebpf"
+	"nvmetro/internal/metrics"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/sim"
+	"nvmetro/internal/uif"
+)
+
+// cacheSrc is the host-cache classifier: every read bumps its LBA bucket's
+// access count in the heat map, and once a bucket crosses the hot threshold
+// its reads are steered to the notify path where the cache UIF serves hits
+// from host memory and fills on miss. Cold reads stay on the fast path —
+// the device is already the cheapest way to serve data nobody re-reads.
+// Writes always go to the UIF so they pass through the cache's invalidation
+// window; without that, a fast-path write could race an in-flight fill and
+// leave stale data resident.
+const cacheSrc = `
+; cache classifier: hot reads and all writes to the cache UIF
+	mov   r9, r1            ; r9 = ctx
+	mov   r2, 0
+	stxw  [r10-4], r2       ; key = 0
+	ldmap r1, cfg
+	mov   r2, r10
+	add   r2, -4
+	call  map_lookup_elem
+	jeq   r0, 0, internal
+	ldxdw r6, [r0+0]        ; partition start
+	ldxdw r7, [r0+8]        ; partition blocks
+	ldxb  r3, [r9+32]       ; opcode
+	jeq   r3, 0, passthru   ; flush: no LBA
+	ldxdw r4, [r9+72]       ; slba
+	ldxw  r5, [r9+80]
+	and   r5, 0xffff
+	add   r5, 1
+	add   r5, r4
+	jgt   r5, r7, oob
+	add   r4, r6
+	stxdw [r9+72], r4       ; direct mediation: rewrite the LBA
+	jeq   r3, 1, to_uif     ; writes: invalidation window lives in the UIF
+	jne   r3, 2, passthru   ; admin etc.: fast path
+; --- read: heat accounting on the translated LBA ---
+	mov   r2, 0
+	stxw  [r10-4], r2
+	ldmap r1, cache
+	mov   r2, r10
+	add   r2, -4
+	call  map_lookup_elem
+	jeq   r0, 0, internal
+	ldxdw r5, [r0+0]        ; bucket shift
+	ldxdw r6, [r0+8]        ; hot threshold (r6 survives helper calls)
+	ldxdw r4, [r9+72]       ; translated slba (r4 was clobbered by the call)
+	rsh   r4, r5            ; bucket number
+	stxdw [r10-16], r4      ; heat key
+	ldmap r1, heat
+	mov   r2, r10
+	add   r2, -16
+	call  map_lookup_elem
+	jeq   r0, 0, cold_first
+	ldxdw r3, [r0+0]
+	add   r3, 1
+	stxdw [r0+0], r3        ; bump the bucket in place
+	jlt   r3, r6, passthru  ; still cold
+to_uif:
+	mov   r0, 0x820000      ; SEND_NQ | WILL_COMPLETE_NQ
+	exit
+cold_first:
+	mov   r3, 1
+	stxdw [r10-24], r3
+	ldmap r1, heat
+	mov   r2, r10
+	add   r2, -16
+	mov   r3, r10
+	add   r3, -24
+	mov   r4, 0
+	call  map_update_elem   ; full map: bucket stays untracked (cold)
+passthru:
+	mov   r0, 0x410000      ; SEND_HQ | WILL_COMPLETE_HQ
+	exit
+oob:
+	mov   r0, 0x2000080     ; COMPLETE | LBAOutOfRange
+	exit
+internal:
+	mov   r0, 0x2000006     ; COMPLETE | InternalError
+	exit
+`
+
+// CacheParams configures the cache storage function.
+type CacheParams struct {
+	// CopyRate models guest-memory copies on the UIF (bytes/sec).
+	CopyRate float64
+	// HotThreshold is the bucket access count at which reads divert to the
+	// cache UIF; the first HotThreshold-1 reads of a bucket stay fast-path.
+	HotThreshold uint64
+	// MaxBuckets bounds the classifier heat map.
+	MaxBuckets int
+	// BucketShift is log2 blocks per heat bucket.
+	BucketShift uint8
+	// Cache sizes the host cache itself; BlockSize is overridden with the
+	// device block size at attach time.
+	Cache cache.Config
+}
+
+// DefaultCacheParams returns the calibrated cache function: 8-block heat
+// buckets going hot on the second access, and a 16 MiB ARC write-through
+// cache.
+func DefaultCacheParams() CacheParams {
+	return CacheParams{
+		CopyRate:     10e9,
+		HotThreshold: 2,
+		MaxBuckets:   1 << 16,
+		BucketShift:  3,
+		Cache:        cache.DefaultConfig(),
+	}
+}
+
+// CacheClassifier returns the host-cache classifier for the partition with
+// its heat map taken from hints. The partition config map is returned for
+// live updates, as with the other classifiers.
+func CacheClassifier(part device.Partition, hints *core.HotHints, hotThreshold uint64) (*ebpf.Program, *ebpf.ArrayMap) {
+	cfg := core.NewPartitionConfigMap(part)
+	ccfg := ebpf.NewArrayMap(16, 1)
+	ccfg.SetU64(0, 0, uint64(hints.BucketShift()))
+	ccfg.SetU64(0, 8, hotThreshold)
+	prog := ebpf.MustAssemble(cacheSrc, "cache",
+		map[string]ebpf.Map{"cfg": cfg, "cache": ccfg, "heat": hints.Map()}, nil)
+	return prog, cfg
+}
+
+// Cacher is the host-cache UIF: hot reads hit host memory and complete
+// without touching the device; misses open a fill window, read the backend
+// through io_uring and install the data; writes open a write window around
+// the backend write so an in-flight fill can never resurrect stale data.
+type Cacher struct {
+	env   *sim.Env
+	cache *cache.Cache
+	hints *core.HotHints
+
+	// CopyRate models guest-memory copies (bytes/sec).
+	CopyRate float64
+
+	// Per-path UIF service latency (request arrival at the UIF to guest
+	// completion, ns): hits, miss fills and writes.
+	HitLat, FillLat, WriteLat *metrics.Histogram
+
+	// Stats (request granularity; the cache's own counters are per block).
+	ReqHits, ReqFills, ReqWrites, FillErrors uint64
+}
+
+// NewCacher builds the UIF around a cache sized by p.
+func NewCacher(env *sim.Env, p CacheParams) *Cacher {
+	return &Cacher{
+		env:      env,
+		cache:    cache.New(p.Cache),
+		hints:    core.NewHotHints(p.BucketShift, p.MaxBuckets),
+		CopyRate: p.CopyRate,
+		HitLat:   metrics.NewHistogram(),
+		FillLat:  metrics.NewHistogram(),
+		WriteLat: metrics.NewHistogram(),
+	}
+}
+
+// Cache exposes the underlying host cache (stats, invalidation hooks).
+func (c *Cacher) Cache() *cache.Cache { return c.cache }
+
+// Hints exposes the classifier heat map wrapper.
+func (c *Cacher) Hints() *core.HotHints { return c.hints }
+
+func (c *Cacher) copyCost(n int) sim.Duration {
+	return sim.Duration(float64(n) / c.CopyRate * 1e9)
+}
+
+// Work implements uif.Handler.
+func (c *Cacher) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, nvme.Status) {
+	lba, blocks := req.Cmd.SLBA(), uint64(req.Cmd.Blocks())
+	n := int(req.NBytes())
+	start := c.env.Now()
+	switch req.Cmd.Opcode() {
+	case nvme.OpRead:
+		buf := make([]byte, n)
+		if c.cache.Read(lba, blocks, buf) {
+			th.Exec(p, c.copyCost(n))
+			if err := req.WriteData(buf); err != nil {
+				return false, nvme.SCDataXferError
+			}
+			c.ReqHits++
+			c.HitLat.Record(int64(c.env.Now() - start))
+			return false, nvme.SCSuccess
+		}
+		fill := c.cache.BeginFill(lba, blocks)
+		req.SubmitBackendReadThen(p, th, buf, func(p *sim.Proc, th *sim.Thread, st nvme.Status) {
+			if !st.OK() {
+				c.cache.AbortFill(fill)
+				c.FillErrors++
+				req.CompleteAsync(st)
+				return
+			}
+			th.Exec(p, c.copyCost(n))
+			if err := req.WriteData(buf); err != nil {
+				c.cache.AbortFill(fill)
+				req.CompleteAsync(nvme.SCDataXferError)
+				return
+			}
+			c.cache.CommitFill(fill, buf)
+			c.ReqFills++
+			c.FillLat.Record(int64(c.env.Now() - start))
+			req.CompleteAsync(nvme.SCSuccess)
+		})
+		return true, 0
+	case nvme.OpWrite:
+		buf := make([]byte, n)
+		if err := req.ReadData(buf); err != nil {
+			return false, nvme.SCDataXferError
+		}
+		th.Exec(p, c.copyCost(n))
+		w := c.cache.BeginWrite(lba, blocks)
+		req.SubmitBackendWriteThen(p, th, buf, func(p *sim.Proc, th *sim.Thread, st nvme.Status) {
+			if st.OK() {
+				c.cache.EndWrite(w, buf)
+			} else {
+				c.cache.EndWrite(w, nil)
+			}
+			c.ReqWrites++
+			c.WriteLat.Record(int64(c.env.Now() - start))
+			req.CompleteAsync(st)
+		})
+		return true, 0
+	default:
+		return false, nvme.SCInvalidOpcode
+	}
+}
+
+// Collect folds the UIF's and the cache's counters into cs.
+func (c *Cacher) Collect(cs *metrics.CounterSet) {
+	cs.Add("cacher.req_hits", c.ReqHits)
+	cs.Add("cacher.req_fills", c.ReqFills)
+	cs.Add("cacher.req_writes", c.ReqWrites)
+	cs.Add("cacher.fill_errors", c.FillErrors)
+	c.cache.Collect(cs)
+}
+
+// CachedReplicator combines the host cache with live disk replication: hot
+// reads are served from the cache (filled from the local primary), writes
+// run both mirror legs from the UIF — the primary through the host block
+// layer, the secondary through the attachment's NVMe-oF ring — inside one
+// cache write window. The guest sees the primary's status; a failing
+// secondary degrades the mirror exactly as in the plain Replicator. Resync
+// traffic only ever writes the secondary, so it cannot touch cached (=
+// primary) contents: a resync copy can never resurrect stale cached data.
+type CachedReplicator struct {
+	*Replicator
+	Primary blockdev.BlockDevice
+	Cache   *cache.Cache
+
+	// Stats
+	ReqHits, ReqFills uint64
+	PrimaryErrors     uint64 // failed primary-leg writes (guest sees them)
+}
+
+// NewCachedReplicator builds the combined UIF. primary is the local mirror
+// leg; the secondary is reached through the uif attachment's ring.
+func NewCachedReplicator(primary blockdev.BlockDevice, c cache.Config) *CachedReplicator {
+	return &CachedReplicator{
+		Replicator: NewReplicator(),
+		Primary:    primary,
+		Cache:      cache.New(c),
+	}
+}
+
+func (c *CachedReplicator) copyCost(n int) sim.Duration {
+	return sim.Duration(float64(n) / c.CopyRate * 1e9)
+}
+
+// Work implements uif.Handler.
+func (c *CachedReplicator) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, nvme.Status) {
+	lba, blocks := req.Cmd.SLBA(), uint64(req.Cmd.Blocks())
+	n := int(req.NBytes())
+	switch req.Cmd.Opcode() {
+	case nvme.OpRead:
+		buf := make([]byte, n)
+		if c.Cache.Read(lba, blocks, buf) {
+			th.Exec(p, c.copyCost(n))
+			if err := req.WriteData(buf); err != nil {
+				return false, nvme.SCDataXferError
+			}
+			c.ReqHits++
+			return false, nvme.SCSuccess
+		}
+		fill := c.Cache.BeginFill(lba, blocks)
+		c.Primary.SubmitBio(p, th, &blockdev.Bio{
+			Op: blockdev.BioRead, Sector: req.Sector(), Data: buf,
+			OnDone: func(st nvme.Status) {
+				req.Attachment().Defer(func(p *sim.Proc, th *sim.Thread) {
+					if !st.OK() {
+						c.Cache.AbortFill(fill)
+						req.CompleteAsync(st)
+						return
+					}
+					th.Exec(p, c.copyCost(n))
+					if err := req.WriteData(buf); err != nil {
+						c.Cache.AbortFill(fill)
+						req.CompleteAsync(nvme.SCDataXferError)
+						return
+					}
+					c.Cache.CommitFill(fill, buf)
+					c.ReqFills++
+					req.CompleteAsync(nvme.SCSuccess)
+				})
+			},
+		})
+		return true, 0
+	case nvme.OpWrite:
+		buf := make([]byte, n)
+		if err := req.ReadData(buf); err != nil {
+			return false, nvme.SCDataXferError
+		}
+		th.Exec(p, c.copyCost(n))
+		c.Forwarded++
+		w := c.Cache.BeginWrite(lba, blocks)
+		// Both mirror legs run inside the write window; the join decides
+		// the guest status and what the window leaves in the cache.
+		pending := 2
+		var pst, sst nvme.Status
+		join := func() {
+			pending--
+			if pending > 0 {
+				return
+			}
+			if pst.OK() {
+				c.Cache.EndWrite(w, buf)
+			} else {
+				c.Cache.EndWrite(w, nil)
+				c.PrimaryErrors++
+				// The secondary may now hold data the primary lost.
+				c.Dirty.Add(lba, blocks)
+			}
+			st := pst
+			if !sst.OK() {
+				c.SecondaryErrors++
+				if pst.OK() {
+					// Degraded mode: the primary carries the data.
+					c.Degraded++
+					c.Dirty.Add(lba, blocks)
+					if c.resync != nil {
+						c.resync.noteSecondaryFailure(lba, blocks)
+					}
+					st = nvme.SCSuccess
+				}
+			} else if pst.OK() && c.resync != nil {
+				c.resync.noteGuestWrite(lba, blocks)
+			}
+			req.CompleteAsync(st)
+		}
+		c.Primary.SubmitBio(p, th, &blockdev.Bio{
+			Op: blockdev.BioWrite, Sector: req.Sector(), Data: buf,
+			OnDone: func(st nvme.Status) { pst = st; join() },
+		})
+		req.SubmitBackendWriteThen(p, th, buf, func(p *sim.Proc, th *sim.Thread, st nvme.Status) {
+			sst = st
+			join()
+		})
+		return true, 0
+	default:
+		return false, nvme.SCInvalidOpcode
+	}
+}
+
+func init() {
+	// Expose the source through the inventory used by Table I / the asm tool.
+	classifierExtra["cache"] = cacheSrc
+}

@@ -1,0 +1,275 @@
+package storfn_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/cache"
+	"nvmetro/internal/core"
+	"nvmetro/internal/device"
+	"nvmetro/internal/nvmeof"
+	"nvmetro/internal/sim"
+	"nvmetro/internal/storfn"
+	"nvmetro/internal/vm"
+)
+
+// setupCache wires the cache storage function for a VM: classifier with the
+// Cacher's heat map, the Cacher UIF, and a host block device + ring for the
+// backend legs.
+func setupCache(t *testing.T, h *host, vc *core.Controller, cp storfn.CacheParams) *storfn.Cacher {
+	t.Helper()
+	cacher := storfn.NewCacher(h.env, cp)
+	prog, _ := storfn.CacheClassifier(vc.Partition(), cacher.Hints(), cp.HotThreshold)
+	if err := vc.LoadClassifier(prog); err != nil {
+		t.Fatal(err)
+	}
+	bdev := blockdev.NewNVMeBlockDev(h.env, device.WholeNamespace(h.dev, 1), h.cpu, 11, blockdev.DefaultCosts())
+	ring := blockdev.NewURing(h.env, bdev, blockdev.DefaultURingCosts())
+	h.fw.Attach(vc.AttachUIF(256), cacher, ring)
+	return cacher
+}
+
+func TestCacheClassifierVerifies(t *testing.T) {
+	env := sim.New(1)
+	dev := device.New(env, device.Default970EvoPlus(), device.NullStore{})
+	part := device.Partition{Dev: dev, NSID: 1, Start: 4096, Blocks: 8192}
+	hints := core.NewHotHints(3, 1<<10)
+	prog, _ := storfn.CacheClassifier(part, hints, 2)
+	if err := core.NewVerifier().Verify(prog); err != nil {
+		t.Fatalf("cache classifier rejected: %v", err)
+	}
+	if _, ok := storfn.ClassifierSources()["cache"]; !ok {
+		t.Fatal("cache classifier missing from the source inventory")
+	}
+}
+
+// TestCacheEndToEnd drives the full heat lifecycle: a first-touch read
+// stays on the fast path, the second (now hot) read misses and fills, the
+// third hits host memory; a later write invalidates-and-updates so the next
+// hit returns the new data.
+func TestCacheEndToEnd(t *testing.T) {
+	h := newHost()
+	v, vc, disk := h.addVM(t, 0)
+	cp := storfn.DefaultCacheParams()
+	cacher := setupCache(t, h, vc, cp)
+
+	dataA := bytes.Repeat([]byte{0xa1, 7}, 2048) // 8 blocks, one heat bucket
+	dataB := bytes.Repeat([]byte{0xb2, 9}, 2048)
+	h.run(t, func(p *sim.Proc) {
+		// All writes go through the UIF's write window (write-through).
+		if st := doIO(p, v, disk, vm.OpWrite, 200, dataA); !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		if cacher.ReqWrites != 1 {
+			t.Fatalf("write bypassed the cache UIF (ReqWrites=%d)", cacher.ReqWrites)
+		}
+		// Drop the write-through install so the fill path is exercised.
+		cacher.Cache().Invalidate(200, 8)
+
+		got := make([]byte, len(dataA))
+		// Read 1: bucket heat 1 < threshold 2 — fast path, UIF untouched.
+		if st := doIO(p, v, disk, vm.OpRead, 200, got); !st.OK() || !bytes.Equal(got, dataA) {
+			t.Fatalf("cold read: %v", st)
+		}
+		if cacher.ReqHits+cacher.ReqFills != 0 {
+			t.Fatal("cold read reached the cache UIF")
+		}
+		// Read 2: hot — notify path, cache miss, fill from the backend.
+		if st := doIO(p, v, disk, vm.OpRead, 200, got); !st.OK() || !bytes.Equal(got, dataA) {
+			t.Fatalf("fill read: %v", st)
+		}
+		if cacher.ReqFills != 1 {
+			t.Fatalf("hot miss did not fill (ReqFills=%d)", cacher.ReqFills)
+		}
+		// Read 3: hot and resident — served from host memory.
+		if st := doIO(p, v, disk, vm.OpRead, 200, got); !st.OK() || !bytes.Equal(got, dataA) {
+			t.Fatalf("hit read: %v", st)
+		}
+		if cacher.ReqHits != 1 {
+			t.Fatalf("resident hot read missed (ReqHits=%d)", cacher.ReqHits)
+		}
+		// Overwrite: the write window invalidates and (write-through)
+		// installs the new data — the next hit must never return dataA.
+		if st := doIO(p, v, disk, vm.OpWrite, 200, dataB); !st.OK() {
+			t.Fatalf("overwrite: %v", st)
+		}
+		if st := doIO(p, v, disk, vm.OpRead, 200, got); !st.OK() {
+			t.Fatalf("read after write: %v", st)
+		}
+		if bytes.Equal(got, dataA) {
+			t.Fatal("stale cached read after a completed write")
+		}
+		if !bytes.Equal(got, dataB) {
+			t.Fatal("read after write returned garbage")
+		}
+		if cacher.ReqHits != 2 {
+			t.Fatalf("read-after-write should hit the write-through install (ReqHits=%d)", cacher.ReqHits)
+		}
+	})
+	if cacher.Cache().Hits() == 0 || cacher.HitLat.Count() == 0 {
+		t.Fatal("cache block stats not recorded")
+	}
+}
+
+// TestCacheWriteAround: under write-around the write only invalidates, so a
+// hot read after a write refills from the backend instead of hitting.
+func TestCacheWriteAround(t *testing.T) {
+	h := newHost()
+	v, vc, disk := h.addVM(t, 0)
+	cp := storfn.DefaultCacheParams()
+	cp.Cache.WritePolicy = cache.WriteAround
+	cacher := setupCache(t, h, vc, cp)
+
+	data := bytes.Repeat([]byte{0x44, 3}, 2048)
+	h.run(t, func(p *sim.Proc) {
+		got := make([]byte, len(data))
+		// Heat the bucket and fill it.
+		doIO(p, v, disk, vm.OpRead, 64, got)
+		doIO(p, v, disk, vm.OpRead, 64, got)
+		if cacher.ReqFills != 1 {
+			t.Fatalf("ReqFills=%d", cacher.ReqFills)
+		}
+		if st := doIO(p, v, disk, vm.OpWrite, 64, data); !st.OK() {
+			t.Fatalf("write: %v", st)
+		}
+		if st := doIO(p, v, disk, vm.OpRead, 64, got); !st.OK() || !bytes.Equal(got, data) {
+			t.Fatalf("read after write-around: %v", st)
+		}
+		if cacher.ReqFills != 2 {
+			t.Fatalf("write-around read should refill, not hit (ReqFills=%d ReqHits=%d)",
+				cacher.ReqFills, cacher.ReqHits)
+		}
+	})
+}
+
+// cachedReplBed is the replication wiring with the cache storage function
+// stacked on top: CachedReplicator UIF, fabric secondary, resync engine.
+type cachedReplBed struct {
+	h      *host
+	v      *vm.VM
+	disk   *vm.NVMeDisk
+	crep   *storfn.CachedReplicator
+	rs     *storfn.Resyncer
+	link   *nvmeof.Link
+	rstore *device.MemStore
+}
+
+func newCachedReplBed(t *testing.T, rcfg storfn.ResyncConfig) *cachedReplBed {
+	t.Helper()
+	h := newHost()
+	v, vc, disk := h.addVM(t, 0)
+	hints := core.NewHotHints(3, 1<<16)
+	prog, _ := storfn.CacheClassifier(vc.Partition(), hints, 2)
+	if err := vc.LoadClassifier(prog); err != nil {
+		t.Fatal(err)
+	}
+	remoteCPU := sim.NewCPU(h.env, 4)
+	rp := device.Default970EvoPlus()
+	rp.JitterPct, rp.TailProb = 0, 0
+	rstore := device.NewMemStore(512)
+	rdev := device.New(h.env, rp, rstore)
+	rbdev := blockdev.NewNVMeBlockDev(h.env, device.WholeNamespace(rdev, 1), remoteCPU, 3, blockdev.DefaultCosts())
+	link := nvmeof.DefaultLink(h.env)
+	tgt := nvmeof.NewTarget(h.env, rbdev, remoteCPU)
+	ini := nvmeof.NewInitiator(h.env, link, tgt)
+	if err := ini.SetRecovery(tightOfRecovery); err != nil {
+		t.Fatal(err)
+	}
+
+	primary := blockdev.NewNVMeBlockDev(h.env, device.WholeNamespace(h.dev, 1), h.cpu, 12, blockdev.DefaultCosts())
+	crep := storfn.NewCachedReplicator(primary, cache.DefaultConfig())
+	ring := blockdev.NewURing(h.env, ini, blockdev.DefaultURingCosts())
+	att := h.fw.Attach(vc.AttachUIF(256), crep, ring)
+
+	rs, err := storfn.NewResyncer(h.env, crep.Replicator, primary, att, h.cpu.ThreadOn(13, "resync"), h.dev.Params().LBAShift, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini.OnReconnect(rs.OnLinkUp)
+	return &cachedReplBed{h: h, v: v, disk: disk, crep: crep, rs: rs, link: link, rstore: rstore}
+}
+
+// TestCachedReplicatorCoherentMidResync: a degraded write populates the
+// cache, a write landing mid-resync must invalidate/update it, and hot
+// reads must never observe pre-write data at any point — before, during or
+// after the drain. Both mirror legs converge bit-identical.
+func TestCachedReplicatorCoherentMidResync(t *testing.T) {
+	rcfg := storfn.DefaultResyncConfig()
+	rcfg.Rate = 5e6 // slow drain so the overwrite lands mid-resync
+	rcfg.ChunkBlocks = 8
+	b := newCachedReplBed(t, rcfg)
+	// The outage covers all degraded writes (~0.55 ms each) and the heat-up
+	// reads; the resync drain starts when it lifts.
+	b.link.ScheduleOutage(0, 50*sim.Millisecond)
+
+	dataA := bytes.Repeat([]byte{0x11, 5}, 2048)
+	dataB := bytes.Repeat([]byte{0x22, 6}, 2048)
+	b.h.run(t, func(p *sim.Proc) {
+		// Degraded writes dirty [0, 256) on the secondary.
+		for i := 0; i < 32; i++ {
+			if st := doIO(p, b.v, b.disk, vm.OpWrite, uint64(i*8), dataA); !st.OK() {
+				t.Fatalf("degraded write %d: %v", i, st)
+			}
+		}
+		if b.rs.State() != storfn.StateDegraded {
+			t.Fatalf("state=%v, want Degraded", b.rs.State())
+		}
+		got := make([]byte, len(dataA))
+		// Heat LBA 200's bucket: first read cold (fast path = primary),
+		// second hot (cache fill or write-through hit).
+		for r := 0; r < 2; r++ {
+			if st := doIO(p, b.v, b.disk, vm.OpRead, 200, got); !st.OK() || !bytes.Equal(got, dataA) {
+				t.Fatalf("degraded read %d: %v", r, st)
+			}
+		}
+		if b.crep.ReqHits == 0 {
+			t.Fatal("hot read did not hit the cache")
+		}
+
+		// Wait until the drain is actually running, then overwrite a
+		// cached, dirty range mid-resync.
+		for b.rs.State() != storfn.StateResyncing {
+			p.Sleep(100 * sim.Microsecond)
+		}
+		if st := doIO(p, b.v, b.disk, vm.OpWrite, 200, dataB); !st.OK() {
+			t.Fatalf("mid-resync write: %v", st)
+		}
+		// The very next hot read must see dataB — a stale cached dataA
+		// here is exactly the bug the write/fill windows exist to prevent.
+		if st := doIO(p, b.v, b.disk, vm.OpRead, 200, got); !st.OK() {
+			t.Fatalf("mid-resync read: %v", st)
+		}
+		if bytes.Equal(got, dataA) {
+			t.Fatal("stale cached read after a mid-resync write")
+		}
+		if !bytes.Equal(got, dataB) {
+			t.Fatal("mid-resync read returned garbage")
+		}
+
+		b.waitInSync(t, p, 500*sim.Millisecond)
+
+		// After the drain, reads still serve the latest data.
+		if st := doIO(p, b.v, b.disk, vm.OpRead, 200, got); !st.OK() || !bytes.Equal(got, dataB) {
+			t.Fatal("post-resync read lost the mid-resync write")
+		}
+	})
+	if pc, sc := b.h.store.ContentCRC(), b.rstore.ContentCRC(); pc != sc {
+		t.Fatalf("mirror contents diverge: primary=%08x secondary=%08x", pc, sc)
+	}
+	if b.crep.Dirty.Blocks() != 0 {
+		t.Fatalf("leaked dirty blocks: %v", b.crep.Dirty.Ranges())
+	}
+}
+
+// waitInSync mirrors replBed.waitInSync for the cached bed.
+func (b *cachedReplBed) waitInSync(t *testing.T, p *sim.Proc, bound sim.Duration) {
+	t.Helper()
+	deadline := p.Now().Add(bound)
+	for b.rs.State() != storfn.StateInSync && p.Now() < deadline {
+		p.Sleep(sim.Millisecond)
+	}
+	if b.rs.State() != storfn.StateInSync {
+		t.Fatalf("mirror did not converge: state=%v dirty=%d", b.rs.State(), b.crep.Dirty.Blocks())
+	}
+}

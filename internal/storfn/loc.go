@@ -14,6 +14,9 @@ var encryptorGoSrc string
 //go:embed replicator.go
 var replicatorGoSrc string
 
+//go:embed cachefn.go
+var cachefnGoSrc string
+
 // countLines counts non-empty source lines.
 func countLines(src string) int {
 	n := 0
@@ -36,10 +39,22 @@ func LineCounts() map[string]int {
 		"encryptor-classifier":  countLines(srcs["encryptor"]),
 		"replicator-classifier": countLines(srcs["replicator"]),
 		"partition-classifier":  countLines(srcs["partition"]),
+		"cache-classifier":      countLines(srcs["cache"]),
 		"encryptor-uif":         plain,
 		"sgx-uif":               sgx,
 		"replicator-uif":        countLines(replicatorGoSrc),
+		"cache-uif":             cacherUIFSource(),
 	}
+}
+
+// cacherUIFSource counts cachefn.go's UIF portion (the Go code past the
+// embedded classifier assembly and its parameter plumbing).
+func cacherUIFSource() int {
+	idx := strings.Index(cachefnGoSrc, "// Cacher is the host-cache UIF")
+	if idx < 0 {
+		return countLines(cachefnGoSrc)
+	}
+	return countLines(cachefnGoSrc[idx:])
 }
 
 // splitEncryptorSource splits encryptor.go at the SGX variant boundary.

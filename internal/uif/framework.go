@@ -303,3 +303,11 @@ func (r *Request) SubmitBackendWrite(p *sim.Proc, th *sim.Thread, data []byte) {
 func (r *Request) SubmitBackendWriteThen(p *sim.Proc, th *sim.Thread, data []byte, andThen func(p *sim.Proc, th *sim.Thread, st nvme.Status)) {
 	r.att.submitRing(p, th, blockdev.BioWrite, r.Sector(), data, ringWait{tag: r.Tag, andThen: andThen})
 }
+
+// SubmitBackendReadThen reads the request's range from the backend into buf
+// via io_uring and runs andThen when the read completes — the cache storage
+// function's miss path, which must see the data before completing the guest
+// request so it can install the block into the host cache.
+func (r *Request) SubmitBackendReadThen(p *sim.Proc, th *sim.Thread, buf []byte, andThen func(p *sim.Proc, th *sim.Thread, st nvme.Status)) {
+	r.att.submitRing(p, th, blockdev.BioRead, r.Sector(), buf, ringWait{tag: r.Tag, andThen: andThen})
+}

@@ -26,6 +26,7 @@ import (
 	"nvmetro/internal/harness"
 	"nvmetro/internal/sim"
 	"nvmetro/internal/stack"
+	"nvmetro/internal/storfn"
 	"nvmetro/internal/vm"
 )
 
@@ -200,6 +201,28 @@ func (s *System) AttachReplicated(v *VM, part Partition, remote *RemoteHost) *At
 	sol := stack.NewNVMetro(s.Host).WithReplication(remote.Secondary())
 	disk := sol.Provision(v, part)
 	return &AttachedDisk{VM: v, Disk: disk}
+}
+
+// CacheParams configures the classifier-steered host block cache storage
+// function (classifier heat threshold plus internal/cache sizing).
+type CacheParams = storfn.CacheParams
+
+// Cacher is the cache UIF: per-request stats, the block cache and the
+// classifier's heat map.
+type Cacher = storfn.Cacher
+
+// DefaultCacheParams returns the calibrated cache configuration.
+func DefaultCacheParams() CacheParams { return storfn.DefaultCacheParams() }
+
+// AttachCached provisions an NVMetro disk with the host block cache storage
+// function: an eBPF classifier counts per-bucket read heat and steers hot
+// reads to a caching UIF, while every write passes through the UIF's
+// invalidation window so cached blocks can never go stale. The returned
+// Cacher exposes hit/miss statistics and the cache itself.
+func (s *System) AttachCached(v *VM, part Partition, cp CacheParams) (*AttachedDisk, *Cacher) {
+	sol := stack.NewNVMetro(s.Host).WithCache(cp)
+	disk := sol.Provision(v, part)
+	return &AttachedDisk{VM: v, Disk: disk}, sol.CacherFor(v)
 }
 
 // Baseline names accepted by AttachBaseline.
