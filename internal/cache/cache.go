@@ -13,9 +13,13 @@
 // fill is dropped — counted as a dirty-window conflict — if a write window
 // overlapped any part of its lifetime: BeginWrite and EndWrite both cancel
 // open overlapping fills, and CommitFill re-checks the windows still open.
-// Write-through installs the write's payload at EndWrite unless another
-// write window still overlaps the range (ambiguous final contents);
-// write-around only invalidates.
+// Write windows track overlap the same way: when two write windows (or a
+// write window and an external Invalidate) overlap at any point in their
+// lifetimes, both are marked conflicted — the backend's final contents
+// depend on a commit order the cache cannot observe, even when one window
+// closes entirely inside the other. Write-through installs the write's
+// payload at EndWrite only if its window was never conflicted; write-around
+// only invalidates.
 //
 // The window table is guarded by one cache-level mutex taken outside the
 // per-shard mutexes (lock order: cache, then shard), and installs happen
@@ -101,7 +105,8 @@ type shard struct {
 // window is one in-flight fill or write over [lba, lba+blocks).
 type window struct {
 	lba, blocks uint64
-	cancelled   bool
+	cancelled   bool // fills: a write overlapped the lifetime; drop at commit
+	conflicted  bool // writes: another writer overlapped the lifetime; skip install
 }
 
 func (w *window) overlaps(lba, blocks uint64) bool {
@@ -359,7 +364,18 @@ func (c *Cache) BeginWrite(lba, blocks uint64) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
-	c.writes[c.nextID] = &window{lba: lba, blocks: blocks}
+	w := &window{lba: lba, blocks: blocks}
+	for _, ow := range c.writes {
+		if ow.overlaps(lba, blocks) {
+			// Overlapping write windows: neither side may install at close,
+			// because the backend's final contents are decided by a commit
+			// order the cache cannot observe — even if one window has
+			// closed by the time the other does.
+			ow.conflicted = true
+			w.conflicted = true
+		}
+	}
+	c.writes[c.nextID] = w
 	for _, f := range c.fills {
 		if f.overlaps(lba, blocks) {
 			f.cancelled = true
@@ -371,8 +387,9 @@ func (c *Cache) BeginWrite(lba, blocks uint64) uint64 {
 
 // EndWrite closes a write window. Pass the written payload when the
 // backend write succeeded (nil on failure): under write-through it is
-// installed, unless another write window still overlaps the range. Fills
-// that overlapped the write's lifetime are cancelled.
+// installed, unless another writer — a write window or an external
+// Invalidate — overlapped any part of this window's lifetime. Fills that
+// overlapped the write's lifetime are cancelled.
 func (c *Cache) EndWrite(writeID uint64, data []byte) {
 	c.mu.Lock()
 	w, ok := c.writes[writeID]
@@ -388,17 +405,11 @@ func (c *Cache) EndWrite(writeID uint64, data []byte) {
 	}
 	var evicted []uint64
 	if data != nil && c.cfg.WritePolicy == WriteThrough {
-		overlapped := false
-		for _, ow := range c.writes {
-			if ow.overlaps(w.lba, w.blocks) {
-				overlapped = true
-				break
-			}
-		}
-		if overlapped {
-			// Concurrent writes to the range: the final backend contents
-			// are decided by completion order we cannot observe, so leave
-			// the range invalid rather than guess.
+		if w.conflicted {
+			// Another writer overlapped this window's lifetime (even one
+			// that already closed): the final backend contents are decided
+			// by a commit order we cannot observe, so leave the range
+			// invalid rather than guess.
 			c.writeSkips++
 		} else {
 			evicted = c.installLocked(w.lba, w.blocks, data)
@@ -411,12 +422,18 @@ func (c *Cache) EndWrite(writeID uint64, data []byte) {
 
 // Invalidate drops [lba, lba+blocks) and cancels overlapping fills —
 // the hook for external writers (e.g. a kernel-path leg) that bypass the
-// write-window protocol.
+// write-window protocol. Open write windows over the range are marked
+// conflicted: the external writer raced them, so they must not install.
 func (c *Cache) Invalidate(lba, blocks uint64) {
 	c.mu.Lock()
 	for _, f := range c.fills {
 		if f.overlaps(lba, blocks) {
 			f.cancelled = true
+		}
+	}
+	for _, w := range c.writes {
+		if w.overlaps(lba, blocks) {
+			w.conflicted = true
 		}
 	}
 	c.invalidateLocked(lba, blocks)

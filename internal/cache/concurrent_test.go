@@ -34,9 +34,12 @@ func TestConcurrentCoherence(t *testing.T) {
 	bs := int(cfg.BlockSize)
 
 	// backing[lba] holds the block's current bytes; committed[lba] the
-	// version floor visible to any read that starts now. Writers serialize
-	// per block (as a guest queue would) so the floor is monotone with the
-	// backend's actual contents.
+	// version floor visible to any read that starts now. Only the backend
+	// commit itself serializes per block (as the device would); write
+	// windows open before and close after that critical section, so
+	// overlapping windows on one block coexist and EndWrite order differs
+	// from backend commit order — the schedule that catches a window
+	// installing a payload the backend has already overwritten.
 	var backing [domain]atomic.Pointer[[]byte]
 	var committed [domain]atomic.Uint64
 	var wmu [domain]sync.Mutex
@@ -68,17 +71,17 @@ func TestConcurrentCoherence(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				x = x*6364136223846793005 + 1442695040888963407
 				lba := x % domain
+				h := c.BeginWrite(lba, 1)
 				wmu[lba].Lock()
 				verCtr[lba]++
 				ver := verCtr[lba]
 				p := encode(ver)
-				h := c.BeginWrite(lba, 1)
 				backing[lba].Store(&p) // "backend write completes"
 				// Committed floor rises before the window closes, mirroring
 				// a backend that acknowledged the write.
 				committed[lba].Store(ver)
-				c.EndWrite(h, p)
 				wmu[lba].Unlock()
+				c.EndWrite(h, p)
 			}
 		}(uint64(w)*97 + 11)
 	}

@@ -7,23 +7,25 @@ import (
 )
 
 // naiveBacking is the reference model: the committed contents of the backing
-// store, one block per key. A cache hit may only ever return a block equal
-// to the committed backing contents at some point with no write in flight —
-// with the single-writer schedules below, that is exactly the current
-// committed value.
+// store, one block per key. A cache hit may only ever return the current
+// committed backing contents, and never while a write window over the range
+// is open. Write windows stay in inFlt from BeginWrite to EndWrite; the
+// backend commit happens at a random point in between, so overlapping
+// windows can commit in a different order than they close.
 type naiveBacking struct {
 	bs    int
 	data  map[uint64][]byte
-	inFlt map[uint64]pendingWrite // open write windows by handle
+	inFlt map[uint64]*pendingWrite // open write windows by handle
 }
 
 type pendingWrite struct {
 	lba, blocks uint64
 	payload     []byte
+	committed   bool // backend write already landed (window may still be open)
 }
 
 func newNaiveBacking(bs int) *naiveBacking {
-	return &naiveBacking{bs: bs, data: make(map[uint64][]byte), inFlt: make(map[uint64]pendingWrite)}
+	return &naiveBacking{bs: bs, data: make(map[uint64][]byte), inFlt: make(map[uint64]*pendingWrite)}
 }
 
 func (m *naiveBacking) committed(lba uint64) []byte {
@@ -41,7 +43,7 @@ func (m *naiveBacking) read(lba, blocks uint64) []byte {
 	return out
 }
 
-func (m *naiveBacking) commit(w pendingWrite) {
+func (m *naiveBacking) commit(w *pendingWrite) {
 	for b := uint64(0); b < w.blocks; b++ {
 		d := make([]byte, m.bs)
 		copy(d, w.payload[int(b)*m.bs:])
@@ -66,12 +68,14 @@ type openFill struct {
 
 // TestCacheCoherenceProperty drives random interleavings of reads, fills
 // (begin / backend-read-snapshot / commit), writes (begin / backend-commit /
-// end) and invalidations against the naive backing model, and checks after
-// every operation that any cache hit returns exactly the committed backing
+// end — three independently scheduled steps, so overlapping write windows
+// coexist and backend commit order can differ from EndWrite order) and
+// invalidations against the naive backing model, and checks after every
+// operation that any cache hit returns exactly the committed backing
 // contents and that no hit is served while a write overlapping the range is
 // in flight. This is the property the storage function relies on: a write —
-// including one racing an in-flight fill — is never followed by a stale
-// cached read.
+// including one racing an in-flight fill or another write — is never
+// followed by a stale cached read.
 func TestCacheCoherenceProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	const (
@@ -103,7 +107,7 @@ func TestCacheCoherenceProperty(t *testing.T) {
 					return uint64(rng.Intn(domain)), uint64(1 + rng.Intn(maxSpan))
 				}
 				for op := 0; op < opsPer; op++ {
-					switch rng.Intn(10) {
+					switch rng.Intn(12) {
 					case 0, 1, 2: // guest read: probe cache, fill on miss
 						lba, nbl := span()
 						buf := make([]byte, int(nbl)*model.bs)
@@ -135,9 +139,18 @@ func TestCacheCoherenceProperty(t *testing.T) {
 						payload := bytes.Repeat([]byte{seq}, int(nbl)*model.bs)
 						seq++
 						w := c.BeginWrite(lba, nbl)
-						model.inFlt[w] = pendingWrite{lba: lba, blocks: nbl, payload: payload}
+						model.inFlt[w] = &pendingWrite{lba: lba, blocks: nbl, payload: payload}
 						writeIDs = append(writeIDs, w)
-					case 6, 7: // complete a random in-flight write
+					case 6: // backend commit of a random open write (window stays open)
+						if len(writeIDs) == 0 {
+							continue
+						}
+						pw := model.inFlt[writeIDs[rng.Intn(len(writeIDs))]]
+						if !pw.committed {
+							model.commit(pw)
+							pw.committed = true
+						}
+					case 7, 8: // close a random open write window
 						if len(writeIDs) == 0 {
 							continue
 						}
@@ -146,17 +159,20 @@ func TestCacheCoherenceProperty(t *testing.T) {
 						writeIDs = append(writeIDs[:i], writeIDs[i+1:]...)
 						pw := model.inFlt[w]
 						delete(model.inFlt, w)
-						if rng.Intn(8) == 0 {
+						if !pw.committed && rng.Intn(8) == 0 {
 							c.EndWrite(w, nil) // backend write failed
 						} else {
-							model.commit(pw)
+							if !pw.committed {
+								model.commit(pw)
+								pw.committed = true
+							}
 							c.EndWrite(w, pw.payload)
 						}
-					case 8: // external invalidation (e.g. kernel-path write)
+					case 9: // external invalidation (e.g. kernel-path write)
 						lba, nbl := span()
 						payload := bytes.Repeat([]byte{seq}, int(nbl)*model.bs)
 						seq++
-						model.commit(pendingWrite{lba: lba, blocks: nbl, payload: payload})
+						model.commit(&pendingWrite{lba: lba, blocks: nbl, payload: payload})
 						c.Invalidate(lba, nbl)
 					default: // re-read a recently written range
 						lba, nbl := span()

@@ -152,17 +152,42 @@ type Cacher struct {
 	ReqHits, ReqFills, ReqWrites, FillErrors uint64
 }
 
-// NewCacher builds the UIF around a cache sized by p.
+// NewCacher builds the UIF around a cache sized by p. Evictions feed back
+// into the classifier heat map: once nothing from a heat bucket is resident
+// anymore, the bucket is forgotten so the cooled region's reads re-qualify
+// for the fast path instead of missing through the UIF forever.
 func NewCacher(env *sim.Env, p CacheParams) *Cacher {
-	return &Cacher{
+	c := &Cacher{
 		env:      env,
-		cache:    cache.New(p.Cache),
 		hints:    core.NewHotHints(p.BucketShift, p.MaxBuckets),
 		CopyRate: p.CopyRate,
 		HitLat:   metrics.NewHistogram(),
 		FillLat:  metrics.NewHistogram(),
 		WriteLat: metrics.NewHistogram(),
 	}
+	userEvict := p.Cache.OnEvict
+	p.Cache.OnEvict = func(lba uint64) {
+		c.forgetEvicted(lba)
+		if userEvict != nil {
+			userEvict(lba)
+		}
+	}
+	c.cache = cache.New(p.Cache)
+	return c
+}
+
+// forgetEvicted drops an evicted block's heat bucket once no block of the
+// bucket is resident, ending the bucket's notify-path diversion. Runs from
+// the cache's OnEvict hook, outside all cache locks.
+func (c *Cacher) forgetEvicted(lba uint64) {
+	shift := c.hints.BucketShift()
+	base := c.hints.Bucket(lba) << shift
+	for b := uint64(0); b < uint64(1)<<shift; b++ {
+		if c.cache.Contains(base+b, 1) {
+			return
+		}
+	}
+	c.hints.Forget(lba)
 }
 
 // Cache exposes the underlying host cache (stats, invalidation hooks).
