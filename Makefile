@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test fmt bench
+.PHONY: check build vet test fmt bench bench-smoke
 
 # check is the CI gate: build, vet, race-enabled tests, and gofmt
 # cleanliness (fails listing the offending files).
@@ -23,3 +23,11 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-smoke compiles and runs every microbenchmark exactly once. It is a
+# CI gate against benchmarks rotting (build or runtime failures), not a
+# performance measurement; use `make bench` for numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkVMRun|BenchmarkCompile' -benchtime 1x ./internal/ebpf/
+	$(GO) test -run '^$$' -bench 'BenchmarkClassifierSuite' -benchtime 1x ./internal/storfn/
+	$(GO) test -run '^$$' -bench 'BenchmarkRouterHop' -benchtime 1x ./internal/core/

@@ -7,6 +7,7 @@
 //	nvmetro-asm -dump encryptor          # print a shipped classifier's source
 //	nvmetro-asm my-classifier.s          # assemble + verify + disassemble
 //	nvmetro-asm -hex my-classifier.s     # also print the encoded bytecode
+//	nvmetro-asm -compile my-classifier.s # also print the compiled op stream
 //
 // Programs referencing `ldmap rX, cfg` are assembled against the standard
 // partition config map (one 16-byte entry).
@@ -26,9 +27,10 @@ import (
 
 func main() {
 	var (
-		builtin = flag.Bool("builtin", false, "list built-in classifiers")
-		dump    = flag.String("dump", "", "print a built-in classifier's source")
-		hexOut  = flag.Bool("hex", false, "print encoded bytecode")
+		builtin  = flag.Bool("builtin", false, "list built-in classifiers")
+		dump     = flag.String("dump", "", "print a built-in classifier's source")
+		hexOut   = flag.Bool("hex", false, "print encoded bytecode")
+		compiled = flag.Bool("compile", false, "print the pre-decoded op stream of the compiled execution tier")
 	)
 	flag.Parse()
 
@@ -89,6 +91,15 @@ func main() {
 	fmt.Println("verifier: OK (safe to attach)")
 	fmt.Println("\ndisassembly:")
 	fmt.Print(ebpf.Disassemble(prog))
+	if *compiled {
+		cp, err := ebpf.Compile(prog, core.NewVerifier())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncompiled op stream (%d ops from %d instructions):\n", cp.NumOps(), len(prog.Insns))
+		fmt.Print(cp.Dump())
+	}
 	if *hexOut {
 		fmt.Printf("\nbytecode (%d bytes):\n", len(prog.Encode()))
 		code := prog.Encode()

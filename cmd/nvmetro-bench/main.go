@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
-		list   = flag.Bool("list", false, "list available experiments")
-		quick  = flag.Bool("quick", false, "thin grids and short windows")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		runIDs  = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "thin grids and short windows")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		workers = flag.Int("workers", 0, "concurrent grid points (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	)
 	flag.Parse()
 
@@ -50,7 +51,7 @@ func main() {
 		ids = strings.Split(*runIDs, ",")
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed}
+	opts := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := harness.Get(id)

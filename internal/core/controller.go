@@ -148,6 +148,8 @@ type Controller struct {
 	restrict bool
 
 	prog   *ebpf.Program
+	cprog  *ebpf.CompiledProgram
+	interp bool // run the reference interpreter instead of the compiled tier
 	native NativeClassifier
 	cvm    *ebpf.VM
 	ctx    ctxBuf
@@ -175,9 +177,11 @@ func (r *Router) Attach(v *vm.VM, part device.Partition) *Controller {
 		vm:       v,
 		part:     part,
 		restrict: true,
-		prog:     DefaultClassifier(),
 		cvm:      ebpf.NewVM(nil),
 		ntags:    make(map[uint16]hop),
+	}
+	if err := vc.LoadClassifier(DefaultClassifier()); err != nil {
+		panic(fmt.Sprintf("core: default classifier rejected: %v", err))
 	}
 	w.vcs = append(w.vcs, vc)
 	return vc
@@ -209,16 +213,24 @@ func (vc *Controller) Partition() device.Partition { return vc.part }
 // to the partition (defense in depth on top of classifier mediation).
 func (vc *Controller) SetRestrict(on bool) { vc.restrict = on }
 
-// LoadClassifier verifies and installs a classifier; it can be swapped at
-// any time without disturbing in-flight requests ("install, migrate and
-// remove storage functions on the fly").
+// LoadClassifier verifies, compiles and installs a classifier; it can be
+// swapped at any time without disturbing in-flight requests ("install,
+// migrate and remove storage functions on the fly"). Classifiers execute on
+// the compiled tier (the kernel-JIT analogue); the interpreter remains
+// available via SetInterpreted for differential testing.
 func (vc *Controller) LoadClassifier(p *ebpf.Program) error {
-	if err := NewVerifier().Verify(p); err != nil {
+	cp, err := ebpf.Compile(p, NewVerifier())
+	if err != nil {
 		return fmt.Errorf("core: classifier rejected: %w", err)
 	}
 	vc.prog = p
+	vc.cprog = cp
 	return nil
 }
+
+// SetInterpreted selects the reference interpreter over the compiled tier
+// (for differential testing; virtual routing cost is identical either way).
+func (vc *Controller) SetInterpreted(on bool) { vc.interp = on }
 
 // classifyCost returns the virtual CPU cost of one classification under the
 // currently installed classifier kind.
@@ -310,7 +322,11 @@ func (w *worker) classifyAndRoute(req *request, hook uint32, errStatus nvme.Stat
 		ret = vc.native(vc.ctx[:])
 	} else {
 		var err error
-		ret, err = vc.cvm.Run(vc.prog, vc.ctx[:])
+		if vc.cprog != nil && !vc.interp {
+			ret, err = vc.cvm.RunCompiled(vc.cprog, vc.ctx[:])
+		} else {
+			ret, err = vc.cvm.Run(vc.prog, vc.ctx[:])
+		}
 		if err != nil {
 			// A faulting classifier fails the request rather than the
 			// host — the isolation property eBPF buys us.

@@ -1,0 +1,514 @@
+package ebpf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the load-time compilation tier: the analogue of the
+// kernel's eBPF JIT. Compile translates a verifier-accepted program into a
+// pre-decoded op stream the VM can execute without per-instruction decode,
+// map resolution or tagged-value checks:
+//
+//   - ld_imm64 pairs are fused into one op; pseudo map loads resolve the
+//     map index at compile time,
+//   - jump offsets become absolute, pre-validated op indices (so the run
+//     loop needs no pc bounds check),
+//   - ALU, load and store instructions are specialized per width and per
+//     immediate/register form, with immediates pre-widened (sign-extended
+//     or masked) so the run loop does no per-op conversion,
+//   - helper calls to the standard map helpers compile to direct
+//     implementations — ArrayMap lookups additionally inline the index
+//     computation and skip the helper dispatch entirely,
+//   - the runtime kind checks of the interpreter (pointer-ness of memory
+//     operands, scalar-ness of ALU operands and stored values, r0 at exit)
+//     are elided: the verifier's type lattice has already proven them.
+//     Memory bounds checks and the fuel limit stay as defense in depth.
+//
+// The interpreter (interp.go) remains the reference implementation; the
+// randomized differential test in compile_test.go holds the two tiers to
+// identical r0/fault/map-state behaviour.
+
+// copCode is the dense opcode of one pre-decoded operation.
+type copCode uint8
+
+// Pre-decoded opcodes. ALU ops are specialized per width (64/32) and per
+// source form (register/immediate); loads and stores per access size.
+const (
+	cBad copCode = iota
+	cExit
+	cMovImm   // r[dst] = imm (covers mov-imm of both widths and fused ld_imm64)
+	cLdMap    // r[dst] = reference to map #off
+	cMovReg   // r[dst] = r[src]
+	cMovReg32 // r[dst] = u32(r[src])
+
+	// 64-bit ALU, register source.
+	cAddReg
+	cSubReg
+	cMulReg
+	cDivReg
+	cModReg
+	cOrReg
+	cAndReg
+	cXorReg
+	cLshReg
+	cRshReg
+	cArshReg
+	// 64-bit ALU, immediate source (imm pre-sign-extended; shifts pre-masked).
+	cAddImm
+	cSubImm
+	cMulImm
+	cDivImm
+	cModImm
+	cOrImm
+	cAndImm
+	cXorImm
+	cLshImm
+	cRshImm
+	cArshImm
+	cNeg
+
+	// 32-bit ALU, register source.
+	cAddReg32
+	cSubReg32
+	cMulReg32
+	cDivReg32
+	cModReg32
+	cOrReg32
+	cAndReg32
+	cXorReg32
+	cLshReg32
+	cRshReg32
+	cArshReg32
+	// 32-bit ALU, immediate source (imm pre-truncated; shifts pre-masked).
+	cAddImm32
+	cSubImm32
+	cMulImm32
+	cDivImm32
+	cModImm32
+	cOrImm32
+	cAndImm32
+	cXorImm32
+	cLshImm32
+	cRshImm32
+	cArshImm32
+	cNeg32
+
+	// Loads (register destination is always a fresh scalar).
+	cLd8
+	cLd16
+	cLd32
+	cLd64
+	// Stores, register source.
+	cSt8
+	cSt16
+	cSt32
+	cSt64
+	// Stores, immediate source (imm pre-truncated to u32, zero-extended).
+	cStImm8
+	cStImm16
+	cStImm32
+	cStImm64
+
+	// Jumps; off is the absolute target op index.
+	cJa
+	cJEqImm
+	cJNeImm
+	cJGtImm
+	cJGeImm
+	cJLtImm
+	cJLeImm
+	cJSGtImm
+	cJSGeImm
+	cJSLtImm
+	cJSLeImm
+	cJSetImm
+	cJEqReg
+	cJNeReg
+	cJGtReg
+	cJGeReg
+	cJLtReg
+	cJLeReg
+	cJSGtReg
+	cJSGeReg
+	cJSLtReg
+	cJSLeReg
+	cJSetReg
+
+	// Helper calls. The standard map helpers compile to direct
+	// implementations; anything else goes through the registry bridge.
+	cCallLookup
+	cCallUpdate
+	cCallDelete
+	cCallPrandom
+	cCallGeneric // imm = helper id
+)
+
+var copNames = map[copCode]string{
+	cBad: "bad", cExit: "exit", cMovImm: "mov_imm", cLdMap: "ld_map",
+	cMovReg: "mov_reg", cMovReg32: "mov_reg32",
+	cAddReg: "add_reg", cSubReg: "sub_reg", cMulReg: "mul_reg", cDivReg: "div_reg",
+	cModReg: "mod_reg", cOrReg: "or_reg", cAndReg: "and_reg", cXorReg: "xor_reg",
+	cLshReg: "lsh_reg", cRshReg: "rsh_reg", cArshReg: "arsh_reg",
+	cAddImm: "add_imm", cSubImm: "sub_imm", cMulImm: "mul_imm", cDivImm: "div_imm",
+	cModImm: "mod_imm", cOrImm: "or_imm", cAndImm: "and_imm", cXorImm: "xor_imm",
+	cLshImm: "lsh_imm", cRshImm: "rsh_imm", cArshImm: "arsh_imm", cNeg: "neg",
+	cAddReg32: "add_reg32", cSubReg32: "sub_reg32", cMulReg32: "mul_reg32",
+	cDivReg32: "div_reg32", cModReg32: "mod_reg32", cOrReg32: "or_reg32",
+	cAndReg32: "and_reg32", cXorReg32: "xor_reg32", cLshReg32: "lsh_reg32",
+	cRshReg32: "rsh_reg32", cArshReg32: "arsh_reg32",
+	cAddImm32: "add_imm32", cSubImm32: "sub_imm32", cMulImm32: "mul_imm32",
+	cDivImm32: "div_imm32", cModImm32: "mod_imm32", cOrImm32: "or_imm32",
+	cAndImm32: "and_imm32", cXorImm32: "xor_imm32", cLshImm32: "lsh_imm32",
+	cRshImm32: "rsh_imm32", cArshImm32: "arsh_imm32", cNeg32: "neg32",
+	cLd8: "ld8", cLd16: "ld16", cLd32: "ld32", cLd64: "ld64",
+	cSt8: "st8", cSt16: "st16", cSt32: "st32", cSt64: "st64",
+	cStImm8: "st8_imm", cStImm16: "st16_imm", cStImm32: "st32_imm", cStImm64: "st64_imm",
+	cJa: "ja", cJEqImm: "jeq_imm", cJNeImm: "jne_imm", cJGtImm: "jgt_imm",
+	cJGeImm: "jge_imm", cJLtImm: "jlt_imm", cJLeImm: "jle_imm",
+	cJSGtImm: "jsgt_imm", cJSGeImm: "jsge_imm", cJSLtImm: "jslt_imm",
+	cJSLeImm: "jsle_imm", cJSetImm: "jset_imm",
+	cJEqReg: "jeq_reg", cJNeReg: "jne_reg", cJGtReg: "jgt_reg", cJGeReg: "jge_reg",
+	cJLtReg: "jlt_reg", cJLeReg: "jle_reg", cJSGtReg: "jsgt_reg", cJSGeReg: "jsge_reg",
+	cJSLtReg: "jslt_reg", cJSLeReg: "jsle_reg", cJSetReg: "jset_reg",
+	cCallLookup: "call_map_lookup", cCallUpdate: "call_map_update",
+	cCallDelete: "call_map_delete", cCallPrandom: "call_prandom",
+	cCallGeneric: "call_generic",
+}
+
+// cop is one pre-decoded operation. off carries the memory displacement for
+// loads/stores, the absolute target op index for jumps, and the map index
+// for cLdMap; imm carries the pre-widened immediate (or helper id).
+type cop struct {
+	code     copCode
+	dst, src uint8
+	off      int32
+	imm      uint64
+}
+
+// CompiledProgram is the pre-decoded form of a verifier-accepted program,
+// executed by VM.RunCompiled.
+type CompiledProgram struct {
+	name   string
+	ops    []cop
+	maps   []Map
+	arrs   []*ArrayMap // maps[i] when it is an *ArrayMap (inline lookups), else nil
+	insnOf []int32     // op index -> original instruction pc, for diagnostics
+	src    *Program
+}
+
+// Name returns the program name.
+func (cp *CompiledProgram) Name() string { return cp.name }
+
+// NumOps returns the length of the pre-decoded op stream.
+func (cp *CompiledProgram) NumOps() int { return len(cp.ops) }
+
+// Source returns the program this was compiled from.
+func (cp *CompiledProgram) Source() *Program { return cp.src }
+
+// Compile verifies p with v (nil for a default Verifier) and translates it
+// into its pre-decoded form. Only verifier-accepted programs compile: the
+// execution engine trusts the verifier's type lattice and elides the
+// interpreter's tagged-value checks.
+func Compile(p *Program, v *Verifier) (*CompiledProgram, error) {
+	if v == nil {
+		v = &Verifier{}
+	}
+	if err := v.Verify(p); err != nil {
+		return nil, err
+	}
+	if v.Helpers == nil {
+		v.Helpers = DefaultHelpers()
+	}
+	return compile(p, v.Helpers)
+}
+
+// compile translates without verifying. Internal callers (tests of the
+// defense-in-depth bounds and fuel checks) may compile structurally valid
+// but unverified programs; everything else must go through Compile.
+func compile(p *Program, helpers *HelperRegistry) (*CompiledProgram, error) {
+	if helpers == nil {
+		helpers = DefaultHelpers()
+	}
+	n := len(p.Insns)
+	if n == 0 {
+		return nil, fmt.Errorf("ebpf compile: empty program")
+	}
+	// Pass 1: mark ld_imm64 continuation slots and build the pc -> op index
+	// mapping (continuations are fused away).
+	isCont := make([]bool, n)
+	opIdx := make([]int32, n)
+	nops := int32(0)
+	for pc := 0; pc < n; pc++ {
+		opIdx[pc] = nops
+		nops++
+		if p.Insns[pc].Op == OpLdImm64 {
+			if pc+1 >= n {
+				return nil, fmt.Errorf("ebpf compile: truncated ld_imm64 at %d", pc)
+			}
+			isCont[pc+1] = true
+			opIdx[pc+1] = -1
+			pc++
+		}
+	}
+
+	cp := &CompiledProgram{
+		name:   p.Name,
+		ops:    make([]cop, 0, nops),
+		maps:   p.Maps,
+		arrs:   make([]*ArrayMap, len(p.Maps)),
+		insnOf: make([]int32, 0, nops),
+		src:    p,
+	}
+	for i, m := range p.Maps {
+		if am, ok := m.(*ArrayMap); ok {
+			cp.arrs[i] = am
+		}
+	}
+
+	target := func(pc int, off int16) (int32, error) {
+		t := pc + int(off) + 1
+		if t < 0 || t >= n {
+			return 0, fmt.Errorf("ebpf compile: jump from %d to %d outside program", pc, t)
+		}
+		if isCont[t] {
+			return 0, fmt.Errorf("ebpf compile: jump from %d into ld_imm64 continuation %d", pc, t)
+		}
+		return opIdx[t], nil
+	}
+
+	for pc := 0; pc < n; pc++ {
+		if isCont[pc] {
+			continue
+		}
+		in := p.Insns[pc]
+		o := cop{dst: in.Dst, src: in.Src}
+		switch in.Class() {
+		case ClassALU64, ClassALU:
+			var err error
+			o, err = compileALU(in)
+			if err != nil {
+				return nil, fmt.Errorf("%w at %d", err, pc)
+			}
+		case ClassLD:
+			if in.Op != OpLdImm64 {
+				return nil, fmt.Errorf("ebpf compile: unsupported LD op %#x at %d", in.Op, pc)
+			}
+			next := p.Insns[pc+1]
+			if in.Src == PseudoMapFD {
+				idx := int(in.Imm)
+				if idx < 0 || idx >= len(p.Maps) {
+					return nil, fmt.Errorf("ebpf compile: bad map index %d at %d", idx, pc)
+				}
+				o.code, o.off = cLdMap, int32(idx)
+			} else {
+				o.code = cMovImm
+				o.imm = uint64(uint32(in.Imm)) | uint64(uint32(next.Imm))<<32
+			}
+		case ClassLDX:
+			switch sizeOf(in.Op) {
+			case 1:
+				o.code = cLd8
+			case 2:
+				o.code = cLd16
+			case 4:
+				o.code = cLd32
+			default:
+				o.code = cLd64
+			}
+			o.off = int32(in.Off)
+		case ClassSTX:
+			switch sizeOf(in.Op) {
+			case 1:
+				o.code = cSt8
+			case 2:
+				o.code = cSt16
+			case 4:
+				o.code = cSt32
+			default:
+				o.code = cSt64
+			}
+			o.off = int32(in.Off)
+		case ClassST:
+			switch sizeOf(in.Op) {
+			case 1:
+				o.code = cStImm8
+			case 2:
+				o.code = cStImm16
+			case 4:
+				o.code = cStImm32
+			default:
+				o.code = cStImm64
+			}
+			o.off = int32(in.Off)
+			o.imm = uint64(uint32(in.Imm)) // the interpreter zero-extends ST immediates
+		case ClassJMP:
+			op := in.Op & 0xf0
+			switch op {
+			case JmpExit:
+				o.code = cExit
+			case JmpCall:
+				o = compileCall(in.Imm, helpers)
+			case JmpA:
+				t, err := target(pc, in.Off)
+				if err != nil {
+					return nil, err
+				}
+				o.code, o.off = cJa, t
+			default:
+				base, ok := condBase[op]
+				if !ok {
+					return nil, fmt.Errorf("ebpf compile: unknown jump op %#x at %d", in.Op, pc)
+				}
+				t, err := target(pc, in.Off)
+				if err != nil {
+					return nil, err
+				}
+				o.code, o.off = base, t
+				if in.Op&SrcX != 0 {
+					o.code += cJEqReg - cJEqImm
+				} else {
+					o.imm = uint64(int64(in.Imm))
+				}
+			}
+		default:
+			return nil, fmt.Errorf("ebpf compile: unknown class %#x at %d", in.Class(), pc)
+		}
+		cp.ops = append(cp.ops, o)
+		cp.insnOf = append(cp.insnOf, int32(pc))
+	}
+
+	// Sequential fall-through past the last op would leave the (unchecked)
+	// pc range; the verifier guarantees this never happens, but enforce it
+	// structurally for unverified internal callers too.
+	last := cp.ops[len(cp.ops)-1].code
+	if last != cExit && last != cJa {
+		return nil, fmt.Errorf("ebpf compile: control flow may fall off the program end")
+	}
+	return cp, nil
+}
+
+// condBase maps a conditional-jump nibble to its immediate-form opcode (the
+// register form is at a fixed distance).
+var condBase = map[uint8]copCode{
+	JmpEq: cJEqImm, JmpNe: cJNeImm, JmpGt: cJGtImm, JmpGe: cJGeImm,
+	JmpLt: cJLtImm, JmpLe: cJLeImm, JmpSGt: cJSGtImm, JmpSGe: cJSGeImm,
+	JmpSLt: cJSLtImm, JmpSLe: cJSLeImm, JmpSet: cJSetImm,
+}
+
+// alu64Base / alu32Base map an ALU nibble to its register-form opcode; the
+// immediate form is at a fixed distance (cAddImm - cAddReg).
+var alu64Base = map[uint8]copCode{
+	ALUAdd: cAddReg, ALUSub: cSubReg, ALUMul: cMulReg, ALUDiv: cDivReg,
+	ALUMod: cModReg, ALUOr: cOrReg, ALUAnd: cAndReg, ALUXor: cXorReg,
+	ALULsh: cLshReg, ALURsh: cRshReg, ALUArsh: cArshReg,
+}
+var alu32Base = map[uint8]copCode{
+	ALUAdd: cAddReg32, ALUSub: cSubReg32, ALUMul: cMulReg32, ALUDiv: cDivReg32,
+	ALUMod: cModReg32, ALUOr: cOrReg32, ALUAnd: cAndReg32, ALUXor: cXorReg32,
+	ALULsh: cLshReg32, ALURsh: cRshReg32, ALUArsh: cArshReg32,
+}
+
+func compileALU(in Insn) (cop, error) {
+	is64 := in.Class() == ClassALU64
+	op := in.Op & 0xf0
+	o := cop{dst: in.Dst, src: in.Src}
+	switch op {
+	case ALUMov:
+		if in.Op&SrcX != 0 {
+			if is64 {
+				o.code = cMovReg
+			} else {
+				o.code = cMovReg32
+			}
+		} else {
+			o.code = cMovImm
+			if is64 {
+				o.imm = uint64(int64(in.Imm))
+			} else {
+				o.imm = uint64(uint32(in.Imm))
+			}
+		}
+		return o, nil
+	case ALUNeg:
+		if is64 {
+			o.code = cNeg
+		} else {
+			o.code = cNeg32
+		}
+		return o, nil
+	}
+	base := alu64Base[op]
+	if !is64 {
+		base = alu32Base[op]
+	}
+	if base == cBad {
+		return o, fmt.Errorf("ebpf compile: unknown ALU op %#x", op)
+	}
+	o.code = base
+	if in.Op&SrcX == 0 { // immediate form
+		o.code += cAddImm - cAddReg
+		// Pre-widen exactly as the interpreter would at runtime: the
+		// immediate is sign-extended, then truncated for 32-bit ops; shift
+		// amounts are pre-masked (&63, except 32-bit arsh's &31).
+		b := uint64(int64(in.Imm))
+		if !is64 {
+			b = uint64(uint32(b))
+		}
+		switch {
+		case op == ALUArsh && !is64:
+			b &= 31
+		case op == ALULsh || op == ALURsh || op == ALUArsh:
+			b &= 63
+		}
+		o.imm = b
+	}
+	return o, nil
+}
+
+// compileCall specializes calls to the standard helpers (identified by both
+// id and registered name, so a registry that rebinds an id falls back to the
+// generic bridge).
+func compileCall(id int32, helpers *HelperRegistry) cop {
+	o := cop{imm: uint64(uint32(id))}
+	_, _, name, ok := helpers.signature(id)
+	if !ok {
+		o.code = cCallGeneric // unknown helper: faults at runtime, like the interpreter
+		return o
+	}
+	switch {
+	case id == HelperMapLookup && name == "map_lookup_elem":
+		o.code = cCallLookup
+	case id == HelperMapUpdate && name == "map_update_elem":
+		o.code = cCallUpdate
+	case id == HelperMapDelete && name == "map_delete_elem":
+		o.code = cCallDelete
+	case id == HelperGetPrandom && name == "get_prandom_u32":
+		o.code = cCallPrandom
+	default:
+		o.code = cCallGeneric
+	}
+	return o
+}
+
+// Dump renders the pre-decoded op stream for debugging classifier
+// compilation (cmd/nvmetro-asm -compile).
+func (cp *CompiledProgram) Dump() string {
+	var sb strings.Builder
+	for i, o := range cp.ops {
+		name := copNames[o.code]
+		if name == "" {
+			name = fmt.Sprintf("op%d", o.code)
+		}
+		fmt.Fprintf(&sb, "%4d: %-16s dst=r%-2d src=r%-2d off=%-6d imm=%#x", i, name, o.dst, o.src, o.off, o.imm)
+		pc := int(cp.insnOf[i])
+		src := cp.src.Insns[pc]
+		if s, err := disasmOne(src, Insn{}); err == nil {
+			fmt.Fprintf(&sb, "\t; insn %d: %s", pc, s)
+		} else if src.Op == OpLdImm64 {
+			fmt.Fprintf(&sb, "\t; insn %d: lddw/ldmap", pc)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,566 @@
+package ebpf
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// --- differential test: randomized verifier-accepted programs ------------
+
+const diffCtxSize = 64
+
+// diffMaps is one tier's map instances: geometry fixed, contents cloned so
+// both tiers mutate independent state.
+type diffMaps struct {
+	arr  *ArrayMap // valueSize 16, 8 entries
+	hash *HashMap  // key 4, value 8, 4 entries (small: exercises map-full)
+}
+
+func newDiffMaps() diffMaps {
+	return diffMaps{arr: NewArrayMap(16, 8), hash: NewHashMap(4, 8, 4)}
+}
+
+func (dm diffMaps) clone() diffMaps {
+	c := newDiffMaps()
+	copy(c.arr.data, dm.arr.data)
+	for k, v := range dm.hash.data {
+		nv := make([]byte, len(v))
+		copy(nv, v)
+		c.hash.data[k] = nv
+	}
+	return c
+}
+
+func (dm diffMaps) equal(o diffMaps) error {
+	if !bytes.Equal(dm.arr.data, o.arr.data) {
+		return fmt.Errorf("array map contents differ:\n%x\n%x", dm.arr.data, o.arr.data)
+	}
+	if len(dm.hash.data) != len(o.hash.data) {
+		return fmt.Errorf("hash map sizes differ: %d vs %d", len(dm.hash.data), len(o.hash.data))
+	}
+	for k, v := range dm.hash.data {
+		ov, ok := o.hash.data[k]
+		if !ok || !bytes.Equal(v, ov) {
+			return fmt.Errorf("hash map key %x differs: %x vs %x", k, v, ov)
+		}
+	}
+	return nil
+}
+
+// genProgram builds a random program that is verifier-accepted by
+// construction. Register roles: r6 = ctx pointer, r7-r9 = long-lived
+// scalars, r0-r5 = per-snippet temporaries. Stack slots [-8], [-16] hold
+// initialized u64s; [-4] holds the map key; [-24..-9) holds map values.
+func genProgram(rng *rand.Rand, dm diffMaps) *Program {
+	b := NewBuilder()
+	label := 0
+	next := func() string { label++; return fmt.Sprintf("L%d", label) }
+
+	aluOps := []uint8{ALUAdd, ALUSub, ALUMul, ALUDiv, ALUMod, ALUOr, ALUAnd, ALUXor, ALULsh, ALURsh, ALUArsh}
+	jmpOps := []uint8{JmpEq, JmpNe, JmpGt, JmpGe, JmpLt, JmpLe, JmpSGt, JmpSGe, JmpSLt, JmpSLe, JmpSet}
+	regs := []uint8{R7, R8, R9}
+	reg := func() uint8 { return regs[rng.Intn(len(regs))] }
+	sizes := []uint8{SizeB, SizeH, SizeW, SizeDW}
+	sizeBytes := map[uint8]int16{SizeB: 1, SizeH: 2, SizeW: 4, SizeDW: 8}
+
+	// Prologue: pin roles and initialize the stack slots snippets rely on.
+	b.MovReg(R6, R1)
+	b.MovImm64(R7, rng.Uint64())
+	b.MovImm64(R8, rng.Uint64())
+	b.MovImm(R9, int32(rng.Uint32()))
+	b.Store(SizeDW, R10, -8, R7)
+	b.Store(SizeDW, R10, -16, R8)
+	b.StoreImm(SizeW, R10, -4, int32(rng.Uint32()))
+	b.Store(SizeDW, R10, -24, R9)
+
+	emitSnippet := func() {
+		switch rng.Intn(12) {
+		case 0: // 64-bit ALU, register source
+			b.ALU(aluOps[rng.Intn(len(aluOps))], reg(), reg())
+		case 1: // 64-bit ALU, immediate (including 0: div/mod-by-zero)
+			imm := int32(rng.Uint32())
+			if rng.Intn(4) == 0 {
+				imm = 0
+			}
+			b.ALUImm(aluOps[rng.Intn(len(aluOps))], reg(), imm)
+		case 2: // 32-bit ALU, immediate (arsh32's &31 masking lives here)
+			imm := int32(rng.Uint32())
+			if rng.Intn(4) == 0 {
+				imm = 0
+			}
+			b.ALU32Imm(aluOps[rng.Intn(len(aluOps))], reg(), imm)
+		case 3: // 32-bit ALU, register source
+			op := aluOps[rng.Intn(len(aluOps))]
+			b.emit(Insn{Op: ClassALU | op | SrcX, Dst: reg(), Src: reg()})
+		case 4: // neg, both widths
+			if rng.Intn(2) == 0 {
+				b.emit(Insn{Op: ClassALU64 | ALUNeg, Dst: reg()})
+			} else {
+				b.emit(Insn{Op: ClassALU | ALUNeg, Dst: reg()})
+			}
+		case 5: // load from ctx, fold into a live register
+			sz := sizes[rng.Intn(len(sizes))]
+			off := int16(rng.Intn(diffCtxSize - int(sizeBytes[sz])))
+			b.Load(sz, R0, R6, off)
+			b.ALU(ALUXor, reg(), R0)
+		case 6: // store to ctx (register or immediate source)
+			sz := sizes[rng.Intn(len(sizes))]
+			off := int16(rng.Intn(diffCtxSize - int(sizeBytes[sz])))
+			if rng.Intn(2) == 0 {
+				b.Store(sz, R6, off, reg())
+			} else {
+				b.StoreImm(sz, R6, off, int32(rng.Uint32()))
+			}
+		case 7: // reload an initialized stack slot
+			off := int16(-8)
+			if rng.Intn(2) == 0 {
+				off = -16
+			}
+			b.Load(SizeDW, R0, R10, off)
+			b.ALU(ALUAdd, reg(), R0)
+		case 8: // array map lookup + null-checked value access
+			b.StoreImm(SizeW, R10, -4, int32(rng.Intn(12))) // sometimes out of range -> null
+			b.LoadMap(R1, dm.arr)
+			b.MovReg(R2, R10)
+			b.AddImm(R2, -4)
+			b.Call(HelperMapLookup)
+			miss := next()
+			b.JumpImm(JmpEq, R0, 0, miss)
+			b.Load(SizeDW, R3, R0, 0)
+			b.ALU(ALUXor, reg(), R3)
+			b.Store(SizeDW, R0, 8, reg())
+			b.Label(miss)
+		case 9: // hash map update (may hit map-full) then lookup
+			b.StoreImm(SizeW, R10, -4, int32(rng.Intn(6)))
+			b.Store(SizeDW, R10, -24, reg())
+			b.LoadMap(R1, dm.hash)
+			b.MovReg(R2, R10)
+			b.AddImm(R2, -4)
+			b.MovReg(R3, R10)
+			b.AddImm(R3, -24)
+			b.MovImm(R4, 0)
+			b.Call(HelperMapUpdate)
+			b.ALU(ALUAdd, reg(), R0)
+			b.LoadMap(R1, dm.hash)
+			b.MovReg(R2, R10)
+			b.AddImm(R2, -4)
+			b.Call(HelperMapLookup)
+			miss := next()
+			b.JumpImm(JmpEq, R0, 0, miss)
+			b.Load(SizeDW, R3, R0, 0)
+			b.ALU(ALUXor, reg(), R3)
+			b.Label(miss)
+		case 10: // hash map delete
+			b.StoreImm(SizeW, R10, -4, int32(rng.Intn(6)))
+			b.LoadMap(R1, dm.hash)
+			b.MovReg(R2, R10)
+			b.AddImm(R2, -4)
+			b.Call(HelperMapDelete)
+			b.ALU(ALUAdd, reg(), R0)
+		default: // prandom
+			b.Call(HelperGetPrandom)
+			b.ALU(ALUAdd, reg(), R0)
+		}
+	}
+
+	for n := 4 + rng.Intn(12); n > 0; n-- {
+		if rng.Intn(4) == 0 {
+			// Conditional skip over the next few snippets (forward only, so
+			// the verifier's no-back-edge rule holds on every path).
+			skip := next()
+			if rng.Intn(2) == 0 {
+				b.JumpImm(jmpOps[rng.Intn(len(jmpOps))], reg(), int32(rng.Uint32()), skip)
+			} else {
+				b.JumpReg(jmpOps[rng.Intn(len(jmpOps))], reg(), reg(), skip)
+			}
+			for k := 1 + rng.Intn(3); k > 0; k-- {
+				emitSnippet()
+			}
+			b.Label(skip)
+		} else {
+			emitSnippet()
+		}
+	}
+
+	// Epilogue: fold the long-lived scalars into r0.
+	b.MovReg(R0, R7)
+	b.ALU(ALUXor, R0, R8)
+	b.ALU(ALUAdd, R0, R9)
+	b.Exit()
+
+	p, err := b.Program("diff")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// errClass folds an execution error into a comparable class.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrFuel):
+		return "fuel"
+	case errors.Is(err, ErrFault):
+		return "fault"
+	default:
+		return "other"
+	}
+}
+
+// TestDifferentialCompiledVsInterpreter generates random verifier-accepted
+// programs and checks that the compiled tier and the interpreter agree on
+// r0, fault class, ctx bytes and final map contents across invocations.
+func TestDifferentialCompiledVsInterpreter(t *testing.T) {
+	const programs = 300
+	const invocations = 4
+	for seed := int64(0); seed < programs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mapsI := newDiffMaps()
+		// Pre-populate so lookups hit immediately on some keys.
+		for i := 0; i < 4; i++ {
+			mapsI.arr.SetU64(i, 0, rng.Uint64())
+		}
+		mapsC := mapsI.clone()
+
+		progI := genProgram(rng, mapsI)
+		// The compiled tier's program references its own map instances at
+		// the same indices (genProgram registers maps in a fixed order).
+		progC := &Program{Insns: progI.Insns, Name: progI.Name}
+		for _, m := range progI.Maps {
+			switch m {
+			case Map(mapsI.arr):
+				progC.Maps = append(progC.Maps, mapsC.arr)
+			case Map(mapsI.hash):
+				progC.Maps = append(progC.Maps, mapsC.hash)
+			default:
+				t.Fatalf("seed %d: unexpected map", seed)
+			}
+		}
+
+		v := &Verifier{CtxSize: diffCtxSize}
+		if err := v.Verify(progI); err != nil {
+			t.Fatalf("seed %d: generator produced rejected program: %v\n%s", seed, err, Disassemble(progI))
+		}
+		cp, err := Compile(progC, &Verifier{CtxSize: diffCtxSize})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+
+		vmI, vmC := NewVM(nil), NewVM(nil)
+		for inv := 0; inv < invocations; inv++ {
+			ctxI := make([]byte, diffCtxSize)
+			rng.Read(ctxI)
+			ctxC := append([]byte(nil), ctxI...)
+
+			retI, errI := vmI.Run(progI, ctxI)
+			retC, errC := vmC.RunCompiled(cp, ctxC)
+			if errClass(errI) != errClass(errC) {
+				t.Fatalf("seed %d inv %d: error class %q vs %q (%v / %v)\n%s",
+					seed, inv, errClass(errI), errClass(errC), errI, errC, Disassemble(progI))
+			}
+			if errI == nil && retI != retC {
+				t.Fatalf("seed %d inv %d: r0 %#x (interp) != %#x (compiled)\n%s",
+					seed, inv, retI, retC, Disassemble(progI))
+			}
+			if !bytes.Equal(ctxI, ctxC) {
+				t.Fatalf("seed %d inv %d: ctx diverged\ninterp:   %x\ncompiled: %x\n%s",
+					seed, inv, ctxI, ctxC, Disassemble(progI))
+			}
+		}
+		if err := mapsI.equal(mapsC); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, Disassemble(progI))
+		}
+	}
+}
+
+// --- edge-case parity ----------------------------------------------------
+
+// runBoth executes p on both tiers with fresh VMs and identical ctx copies,
+// requiring identical outcomes, and returns the shared result.
+func runBoth(t *testing.T, p *Program, ctx []byte, ctxSize int) (uint64, error) {
+	t.Helper()
+	cp, err := Compile(p, &Verifier{CtxSize: ctxSize})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var ctxI, ctxC []byte
+	if ctx != nil {
+		ctxI = append([]byte(nil), ctx...)
+		ctxC = append([]byte(nil), ctx...)
+	}
+	retI, errI := NewVM(nil).Run(p, ctxI)
+	retC, errC := NewVM(nil).RunCompiled(cp, ctxC)
+	if errClass(errI) != errClass(errC) || (errI == nil && retI != retC) || !bytes.Equal(ctxI, ctxC) {
+		t.Fatalf("tiers diverge: interp (%#x, %v) compiled (%#x, %v)", retI, errI, retC, errC)
+	}
+	return retC, errC
+}
+
+func TestParityArsh32(t *testing.T) {
+	// 32-bit arsh masks the shift with &31 (the other shifts use &63);
+	// check both the immediate and register forms at the boundary.
+	for _, shift := range []int32{0, 1, 31, 32, 33, 63} {
+		p := NewBuilder().
+			MovImm(R7, -8). // 0xfffffff8 after 32-bit truncation
+			ALU32Imm(ALUArsh, R7, shift).
+			MovReg(R0, R7).
+			Exit().
+			MustProgram("arsh32imm")
+		got, _ := runBoth(t, p, nil, 0)
+		want := uint64(uint32(int32(-8) >> (uint32(shift) & 31)))
+		if got != want {
+			t.Errorf("arsh32 imm shift %d: got %#x want %#x", shift, got, want)
+		}
+
+		b := NewBuilder().MovImm(R7, -8).MovImm(R8, shift)
+		b.emit(Insn{Op: ClassALU | ALUArsh | SrcX, Dst: R7, Src: R8})
+		p = b.MovReg(R0, R7).Exit().MustProgram("arsh32reg")
+		got, _ = runBoth(t, p, nil, 0)
+		if got != want {
+			t.Errorf("arsh32 reg shift %d: got %#x want %#x", shift, got, want)
+		}
+	}
+}
+
+func TestParityDivModByZero(t *testing.T) {
+	cases := []struct {
+		name string
+		op   uint8
+		is64 bool
+		want uint64 // for dividend 7, divisor 0
+	}{
+		{"div64", ALUDiv, true, 0},
+		{"mod64", ALUMod, true, 7},
+		{"div32", ALUDiv, false, 0},
+		{"mod32", ALUMod, false, 7},
+	}
+	for _, tc := range cases {
+		for _, regForm := range []bool{false, true} {
+			b := NewBuilder().MovImm(R7, 7)
+			cls := uint8(ClassALU)
+			if tc.is64 {
+				cls = ClassALU64
+			}
+			if regForm {
+				b.MovImm(R8, 0)
+				b.emit(Insn{Op: cls | tc.op | SrcX, Dst: R7, Src: R8})
+			} else {
+				b.emit(Insn{Op: cls | tc.op | SrcK, Dst: R7, Imm: 0})
+			}
+			p := b.MovReg(R0, R7).Exit().MustProgram(tc.name)
+			got, _ := runBoth(t, p, nil, 0)
+			if got != tc.want {
+				t.Errorf("%s (reg=%v): got %d want %d", tc.name, regForm, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestParityNullCheckBranch(t *testing.T) {
+	arr := NewArrayMap(8, 2)
+	arr.SetU64(1, 0, 0xabcd)
+	// Key 1 hits (value 0xabcd), key 5 misses (null): the null-check branch
+	// must behave identically on both tiers, including the synthetic
+	// non-zero address a live pointer compares as.
+	for _, tc := range []struct{ key, want uint64 }{{1, 0xabcd}, {5, ^uint64(0)}} {
+		p := NewBuilder().
+			StoreImm(SizeW, R10, -4, int32(tc.key)).
+			LoadMap(R1, arr).
+			MovReg(R2, R10).
+			AddImm(R2, -4).
+			Call(HelperMapLookup).
+			JumpImm(JmpEq, R0, 0, "miss").
+			Load(SizeDW, R0, R0, 0).
+			Exit().
+			Label("miss").
+			MovImm(R0, -1).
+			Exit().
+			MustProgram("nullcheck")
+		got, _ := runBoth(t, p, nil, 0)
+		if got != tc.want {
+			t.Errorf("key %d: got %#x want %#x", tc.key, got, tc.want)
+		}
+	}
+}
+
+func TestParityLdImm64AtEnd(t *testing.T) {
+	// A fused ld_imm64 as the last op before exit must survive the pc
+	// remapping (its continuation slot is the second-to-last insn).
+	p := NewBuilder().
+		MovImm64(R0, 0xdead_beef_cafe_f00d).
+		Exit().
+		MustProgram("lddw-end")
+	got, _ := runBoth(t, p, nil, 0)
+	if got != 0xdead_beef_cafe_f00d {
+		t.Errorf("got %#x", got)
+	}
+
+	// A ld_imm64 whose continuation IS the program end cannot compile:
+	// control flow would fall off. (The verifier rejects it too.)
+	trunc := &Program{Insns: []Insn{
+		{Op: OpLdImm64, Dst: R0, Imm: 1},
+		{Imm: 0},
+	}}
+	if _, err := compile(trunc, nil); err == nil {
+		t.Fatal("compile accepted program falling off the end")
+	}
+	truncHard := &Program{Insns: []Insn{{Op: OpLdImm64, Dst: R0, Imm: 1}}}
+	if _, err := compile(truncHard, nil); err == nil {
+		t.Fatal("compile accepted truncated ld_imm64")
+	}
+}
+
+func TestCompiledFuelLimit(t *testing.T) {
+	// The compiled tier keeps the fuel limit as defense in depth. The
+	// verifier rejects loops, so build the loop unverified via compile().
+	loop := &Program{Insns: []Insn{
+		{Op: ClassALU64 | ALUMov | SrcK, Dst: R0, Imm: 0}, // 0: r0 = 0
+		{Op: ClassJMP | JmpA, Off: -2},                    // 1: goto 0
+	}, Name: "loop"}
+	cp, err := compile(loop, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := NewVM(nil).RunCompiled(cp, nil); !errors.Is(err, ErrFuel) {
+		t.Fatalf("want ErrFuel, got %v", err)
+	}
+}
+
+func TestCompiledBoundsDefenseInDepth(t *testing.T) {
+	// Unverified programs still cannot escape their memory windows.
+	oob := &Program{Insns: []Insn{
+		{Op: ClassLDX | SizeDW | ModeMEM, Dst: R0, Src: R10, Off: 8}, // past stack top
+		{Op: ClassJMP | JmpExit},
+	}, Name: "oob"}
+	cp, err := compile(oob, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := NewVM(nil).RunCompiled(cp, nil); !errors.Is(err, ErrFault) {
+		t.Fatalf("want ErrFault, got %v", err)
+	}
+}
+
+// --- zero-allocation and stack-watermark behaviour -----------------------
+
+func TestCompiledRunZeroAlloc(t *testing.T) {
+	arr := NewArrayMap(16, 4)
+	arr.SetU64(0, 0, 1024)
+	p := NewBuilder().
+		StoreImm(SizeW, R10, -4, 0).
+		LoadMap(R1, arr).
+		MovReg(R2, R10).
+		AddImm(R2, -4).
+		Call(HelperMapLookup).
+		JumpImm(JmpEq, R0, 0, "miss").
+		Load(SizeDW, R0, R0, 0).
+		Exit().
+		Label("miss").
+		MovImm(R0, -1).
+		Exit().
+		MustProgram("alloc-probe")
+	cp, err := Compile(p, &Verifier{CtxSize: 16})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	vm := NewVM(nil)
+	ctx := make([]byte, 16)
+	if _, err := vm.RunCompiled(cp, ctx); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := vm.RunCompiled(cp, ctx); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("compiled run allocated %.1f times per invocation", allocs)
+	}
+}
+
+func TestStackClearedBetweenInvocations(t *testing.T) {
+	// The high-water-mark optimization must be invisible: a slot dirtied by
+	// one invocation reads back zero in the next. The program reads before
+	// writing, so it cannot pass the verifier; execute unverified on both
+	// tiers (the watermark must hold even without verifier guarantees).
+	p := &Program{Insns: []Insn{
+		{Op: ClassLDX | SizeDW | ModeMEM, Dst: R0, Src: R10, Off: -256}, // r0 = old slot
+		{Op: ClassALU64 | ALUMov | SrcK, Dst: R7, Imm: -1},
+		{Op: ClassSTX | SizeDW | ModeMEM, Dst: R10, Src: R7, Off: -256}, // dirty it
+		{Op: ClassJMP | JmpExit},
+	}, Name: "hwm"}
+	vm := NewVM(nil)
+	for i := 0; i < 3; i++ {
+		ret, err := vm.Run(p, nil)
+		if err != nil {
+			t.Fatalf("interp run %d: %v", i, err)
+		}
+		if ret != 0 {
+			t.Fatalf("interp run %d: stale stack data %#x", i, ret)
+		}
+	}
+	cp, err := compile(p, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		ret, err := vm.RunCompiled(cp, nil)
+		if err != nil {
+			t.Fatalf("compiled run %d: %v", i, err)
+		}
+		if ret != 0 {
+			t.Fatalf("compiled run %d: stale stack data %#x", i, ret)
+		}
+	}
+}
+
+func TestHashMapUpdateReusesStorage(t *testing.T) {
+	m := NewHashMap(4, 8, 4)
+	key := []byte{1, 0, 0, 0}
+	if err := m.Update(key, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Lookup(key)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := m.Update(key, []byte{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("existing-key update allocated %.1f times", allocs)
+	}
+	after := m.Lookup(key)
+	if &before[0] != &after[0] {
+		t.Fatal("update did not reuse value storage")
+	}
+	if !bytes.Equal(after, []byte{9, 9, 9, 9, 9, 9, 9, 9}) {
+		t.Fatalf("value not updated: %x", after)
+	}
+}
+
+func TestCompiledDump(t *testing.T) {
+	arr := NewArrayMap(16, 4)
+	p := NewBuilder().
+		LoadMap(R1, arr).
+		MovImm(R0, 0).
+		Exit().
+		MustProgram("dump")
+	cp, err := Compile(p, &Verifier{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	out := cp.Dump()
+	for _, want := range []string{"ld_map", "mov_imm", "exit"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if cp.NumOps() != 3 {
+		t.Errorf("NumOps = %d, want 3 (ld_imm64 fused)", cp.NumOps())
+	}
+}

@@ -34,11 +34,15 @@ const (
 )
 
 // helperImpl couples a runtime implementation with its verifier signature.
+// builtin marks the standard helpers, which are known not to write to the
+// VM stack (custom helpers force a conservative full-stack clear on the
+// next invocation — see VM.stackLow).
 type helperImpl struct {
-	name string
-	args []ArgType
-	ret  RetType
-	fn   func(vm *VM, r []val) (val, error)
+	name    string
+	args    []ArgType
+	ret     RetType
+	fn      func(vm *VM, r []val) (val, error)
+	builtin bool
 }
 
 // HelperRegistry maps helper IDs to implementations. The paper notes that
@@ -67,6 +71,13 @@ func (hr *HelperRegistry) Register(id int32, name string, args []ArgType, ret Re
 	hr.impls[id] = &helperImpl{name: name, args: args, ret: ret, fn: fn}
 }
 
+// register installs a standard helper (exempt from the conservative
+// stack-dirtying custom helpers get).
+func (hr *HelperRegistry) register(id int32, name string, args []ArgType, ret RetType, fn func(vm *VM, r []val) (val, error)) {
+	hr.Register(id, name, args, ret, fn)
+	hr.impls[id].builtin = true
+}
+
 func stackBytes(v val, n int) ([]byte, error) {
 	if v.kind != kPtr {
 		return nil, fmt.Errorf("%w: helper expects pointer argument", ErrFault)
@@ -81,7 +92,7 @@ func stackBytes(v val, n int) ([]byte, error) {
 // DefaultHelpers returns the standard helper set.
 func DefaultHelpers() *HelperRegistry {
 	hr := &HelperRegistry{}
-	hr.Register(HelperMapLookup, "map_lookup_elem",
+	hr.register(HelperMapLookup, "map_lookup_elem",
 		[]ArgType{ArgMapPtr, ArgPtrToMapKey}, RetMapValueOrNull,
 		func(vm *VM, r []val) (val, error) {
 			m := r[R1].m
@@ -95,7 +106,7 @@ func DefaultHelpers() *HelperRegistry {
 			}
 			return val{kind: kPtr, mem: &memRegion{data: v, writable: true}}, nil
 		})
-	hr.Register(HelperMapUpdate, "map_update_elem",
+	hr.register(HelperMapUpdate, "map_update_elem",
 		[]ArgType{ArgMapPtr, ArgPtrToMapKey, ArgPtrToMapValue, ArgScalar}, RetScalar,
 		func(vm *VM, r []val) (val, error) {
 			m := r[R1].m
@@ -112,7 +123,7 @@ func DefaultHelpers() *HelperRegistry {
 			}
 			return scalar(0), nil
 		})
-	hr.Register(HelperMapDelete, "map_delete_elem",
+	hr.register(HelperMapDelete, "map_delete_elem",
 		[]ArgType{ArgMapPtr, ArgPtrToMapKey}, RetScalar,
 		func(vm *VM, r []val) (val, error) {
 			m := r[R1].m
@@ -125,16 +136,13 @@ func DefaultHelpers() *HelperRegistry {
 			}
 			return scalar(0), nil
 		})
-	hr.Register(HelperGetPrandom, "get_prandom_u32",
+	hr.register(HelperGetPrandom, "get_prandom_u32",
 		nil, RetScalar,
 		func(vm *VM, r []val) (val, error) {
 			// xorshift seeded from invocation count: deterministic across
-			// simulation runs, unlike the kernel's true PRNG.
-			x := vm.Invocations*2654435761 + 12345
-			x ^= x << 13
-			x ^= x >> 7
-			x ^= x << 17
-			return scalar(uint64(uint32(x))), nil
+			// simulation runs, unlike the kernel's true PRNG. Shared with
+			// the compiled tier (crun.go) so both tiers agree.
+			return scalar(prandomU32(vm.Invocations)), nil
 		})
 	return hr
 }

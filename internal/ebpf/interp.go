@@ -45,9 +45,17 @@ func scalar(n uint64) val { return val{kind: kScalar, n: n} }
 // simulation every classifier invocation happens under the single run token,
 // matching per-CPU execution in the kernel).
 type VM struct {
-	stack   [StackSize]byte
-	regs    [NumRegs]val
-	helpers *HelperRegistry
+	stack [StackSize]byte
+	regs  [NumRegs]val
+	cregs [NumRegs]creg
+	// Both memory regions live in the VM so Run performs no per-invocation
+	// heap allocation; the ctx window is re-pointed on every call.
+	stackRegion memRegion
+	ctxRegion   memRegion
+	// stackLow is the low-water mark of stack writes since the last clear
+	// (the stack grows down): the next invocation only clears [stackLow:).
+	stackLow int
+	helpers  *HelperRegistry
 	// Stats
 	Invocations uint64
 	InsnCount   uint64
@@ -58,21 +66,25 @@ func NewVM(helpers *HelperRegistry) *VM {
 	if helpers == nil {
 		helpers = DefaultHelpers()
 	}
-	return &VM{helpers: helpers}
+	vm := &VM{helpers: helpers, stackLow: StackSize}
+	vm.stackRegion = memRegion{data: vm.stack[:], writable: true}
+	return vm
 }
 
 // Run executes the program with ctx mapped read-write at r1.
 // It returns the program's r0 exit value.
 func (vm *VM) Run(p *Program, ctx []byte) (uint64, error) {
 	vm.Invocations++
-	stackRegion := &memRegion{data: vm.stack[:], writable: true}
-	clear(vm.stack[:])
-	ctxRegion := &memRegion{data: ctx, writable: true}
+	if vm.stackLow < StackSize {
+		clear(vm.stack[vm.stackLow:])
+		vm.stackLow = StackSize
+	}
+	vm.ctxRegion = memRegion{data: ctx, writable: true}
 	for i := range vm.regs {
 		vm.regs[i] = scalar(0)
 	}
-	vm.regs[R1] = val{kind: kPtr, mem: ctxRegion, n: 0}
-	vm.regs[R10] = val{kind: kPtr, mem: stackRegion, n: StackSize}
+	vm.regs[R1] = val{kind: kPtr, mem: &vm.ctxRegion, n: 0}
+	vm.regs[R10] = val{kind: kPtr, mem: &vm.stackRegion, n: StackSize}
 
 	r := vm.regs[:]
 	pc := 0
@@ -203,6 +215,11 @@ func (vm *VM) store(dst val, off int64, size int, v uint64) error {
 	w, err := vm.window(dst, off, size, true)
 	if err != nil {
 		return err
+	}
+	if dst.mem == &vm.stackRegion {
+		if start := int(int64(dst.n) + off); start < vm.stackLow {
+			vm.stackLow = start
+		}
 	}
 	switch size {
 	case 1:
@@ -381,6 +398,11 @@ func (vm *VM) call(r []val, id int32) error {
 	ret, err := h.fn(vm, r)
 	if err != nil {
 		return err
+	}
+	if !h.builtin {
+		// A custom helper may write through any pointer it was handed
+		// without going through vm.store; assume the whole stack is dirty.
+		vm.stackLow = 0
 	}
 	r[R0] = ret
 	// r1-r5 are caller-saved and become unspecified; zero them for

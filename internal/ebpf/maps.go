@@ -123,12 +123,17 @@ func (m *HashMap) Lookup(key []byte) []byte {
 	return m.data[string(key)]
 }
 
-// Update implements Map.
+// Update implements Map. Updating an existing key reuses its value storage
+// (copy-in-place) so steady-state updates allocate nothing.
 func (m *HashMap) Update(key, value []byte) error {
 	if len(key) != m.keySize || len(value) != m.valueSize {
 		return fmt.Errorf("ebpf: bad key/value size")
 	}
-	if _, ok := m.data[string(key)]; !ok && len(m.data) >= m.maxEntries {
+	if old, ok := m.data[string(key)]; ok {
+		copy(old, value)
+		return nil
+	}
+	if len(m.data) >= m.maxEntries {
 		return fmt.Errorf("ebpf: map full (%d entries)", m.maxEntries)
 	}
 	v := make([]byte, m.valueSize)

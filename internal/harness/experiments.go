@@ -67,13 +67,22 @@ func fioPair(o Options, idTp, idCPU, title string, sols []namedSol, grid []fioCa
 	tp = &Table{ID: idTp, Title: title, Unit: "kIOPS", Cols: cols}
 	cpu = &Table{ID: idCPU, Title: "CPU consumption for " + title, Unit: "avg busy cores", Cols: cols}
 	warm, dur := o.windows()
-	for _, c := range grid {
+	// Each (case, solution) cell is an isolated deterministic sim; run them
+	// across workers and assemble in grid order.
+	type cell struct{ tp, cpu float64 }
+	cells := make([]cell, len(grid)*len(sols))
+	o.forEach(len(cells), func(k int) {
+		c, s := grid[k/len(sols)], sols[k%len(sols)]
+		cfg := fio.Config{Mode: c.mode, BlockSize: c.bs, QD: c.qd, Warmup: warm, Duration: dur}
+		r := runFio(o, s.mk, cfg, c.jobs)
+		cells[k] = cell{r.KIOPS(), r.CPUCores}
+	})
+	for gi, c := range grid {
 		var tpCells, cpuCells []float64
-		for _, s := range sols {
-			cfg := fio.Config{Mode: c.mode, BlockSize: c.bs, QD: c.qd, Warmup: warm, Duration: dur}
-			r := runFio(o, s.mk, cfg, c.jobs)
-			tpCells = append(tpCells, r.KIOPS())
-			cpuCells = append(cpuCells, r.CPUCores)
+		for si := range sols {
+			cells := cells[gi*len(sols)+si]
+			tpCells = append(tpCells, cells.tp)
+			cpuCells = append(cpuCells, cells.cpu)
 		}
 		tp.Add(c.label(), tpCells...)
 		cpu.Add(c.label(), cpuCells...)
@@ -94,7 +103,9 @@ func cachedPair(key string, build func() (tp, cpu *Table)) (tp, cpu *Table) {
 }
 
 func cacheKey(o Options, id string) string {
-	return fmt.Sprintf("%s/q=%v/s=%d", id, o.Quick, o.Seed)
+	// Workers is part of the key only so serial-vs-parallel comparison runs
+	// (the determinism regression test) don't alias; results are identical.
+	return fmt.Sprintf("%s/q=%v/s=%d/w=%d", id, o.Quick, o.Seed, o.Workers)
 }
 
 func fig3Pair(o Options) (tp, cpu *Table) {
@@ -146,15 +157,23 @@ func ycsbTable(o Options, id, title string, sols []namedSol) *Table {
 	if o.Quick {
 		workloads = []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadC, ycsb.WorkloadF}
 	}
+	type row struct {
+		w    ycsb.Workload
+		jobs int
+	}
+	var rows []row
 	for _, jobs := range []int{1, 4} {
 		for _, w := range workloads {
-			var cells []float64
-			for _, s := range sols {
-				r := runYCSB(o, s.mk, w, jobs)
-				cells = append(cells, r.KOpsPerSec)
-			}
-			t.Add(fmt.Sprintf("%v j=%d", w, jobs), cells...)
+			rows = append(rows, row{w, jobs})
 		}
+	}
+	cells := make([]float64, len(rows)*len(sols))
+	o.forEach(len(cells), func(k int) {
+		rw, s := rows[k/len(sols)], sols[k%len(sols)]
+		cells[k] = runYCSB(o, s.mk, rw.w, rw.jobs).KOpsPerSec
+	})
+	for ri, rw := range rows {
+		t.Add(fmt.Sprintf("%v j=%d", rw.w, rw.jobs), cells[ri*len(sols):(ri+1)*len(sols)]...)
 	}
 	return t
 }
@@ -203,14 +222,20 @@ func init() {
 				}
 			}
 		}
-		for _, c := range cases {
+		type cell struct{ med, p99 float64 }
+		cells := make([]cell, len(cases)*len(sols))
+		o.forEach(len(cells), func(k int) {
+			c, s := cases[k/len(sols)], sols[k%len(sols)]
+			cfg := fio.Config{Mode: c.mode, BlockSize: c.bs, QD: c.qd, RateIOPS: 10000,
+				Warmup: warm, Duration: dur}
+			r := runFio(o, s.mk, cfg, 1)
+			cells[k] = cell{float64(r.Lat.Median()) / 1e3, float64(r.Lat.P99()) / 1e3}
+		})
+		for ci, c := range cases {
 			var medCells, p99Cells []float64
-			for _, s := range sols {
-				cfg := fio.Config{Mode: c.mode, BlockSize: c.bs, QD: c.qd, RateIOPS: 10000,
-					Warmup: warm, Duration: dur}
-				r := runFio(o, s.mk, cfg, 1)
-				medCells = append(medCells, float64(r.Lat.Median())/1e3)
-				p99Cells = append(p99Cells, float64(r.Lat.P99())/1e3)
+			for si := range sols {
+				medCells = append(medCells, cells[ci*len(sols)+si].med)
+				p99Cells = append(p99Cells, cells[ci*len(sols)+si].p99)
 			}
 			label := fmt.Sprintf("bs=%s %v qd=%d", bsName(c.bs), c.mode, c.qd)
 			med.Add(label, medCells...)
@@ -233,16 +258,24 @@ func init() {
 			t.Cols = append(t.Cols, fmt.Sprintf("%d VMs", n))
 		}
 		warm, dur := o.windows()
+		type row struct {
+			m  fio.Mode
+			qd int
+		}
+		var rows []row
 		for _, m := range modes {
 			for _, qd := range qds {
-				var cells []float64
-				for _, n := range vmCounts {
-					cfg := fio.Config{Mode: m, BlockSize: 512, QD: qd, Warmup: warm, Duration: dur}
-					r := runFioScaled(o, n, cfg)
-					cells = append(cells, r.KIOPS())
-				}
-				t.Add(fmt.Sprintf("%v qd=%d", m, qd), cells...)
+				rows = append(rows, row{m, qd})
 			}
+		}
+		cells := make([]float64, len(rows)*len(vmCounts))
+		o.forEach(len(cells), func(k int) {
+			rw, n := rows[k/len(vmCounts)], vmCounts[k%len(vmCounts)]
+			cfg := fio.Config{Mode: rw.m, BlockSize: 512, QD: rw.qd, Warmup: warm, Duration: dur}
+			cells[k] = runFioScaled(o, n, cfg).KIOPS()
+		})
+		for ri, rw := range rows {
+			t.Add(fmt.Sprintf("%v qd=%d", rw.m, rw.qd), cells[ri*len(vmCounts):(ri+1)*len(vmCounts)]...)
 		}
 		return []*Table{t}
 	})

@@ -14,8 +14,9 @@ import (
 
 // Options controls run scale.
 type Options struct {
-	Quick bool  // shorter windows and a thinner grid for CI/bench runs
-	Seed  int64 // simulation seed
+	Quick   bool  // shorter windows and a thinner grid for CI/bench runs
+	Seed    int64 // simulation seed
+	Workers int   // concurrent grid points; <= 0 means GOMAXPROCS, 1 is serial
 }
 
 // Table is one rendered result table.

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0..n-1) across up to min(workers, n) goroutines, where
+// workers is Options.Workers (<= 0 means GOMAXPROCS). Every experiment grid
+// point builds its own simulation environment and RNG from the seed, so
+// points are independent and results do not depend on execution order;
+// callers store results by index so the assembled tables come out identical
+// to a serial run (see TestParallelMatchesSerial).
+func (o Options) forEach(n int, fn func(i int)) {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

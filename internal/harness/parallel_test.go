@@ -1,0 +1,33 @@
+package harness
+
+import "testing"
+
+// TestParallelMatchesSerial checks that running experiment grid points
+// across workers produces byte-identical tables to a serial run: every grid
+// point is an isolated deterministic sim, and assembly is order-stable.
+func TestParallelMatchesSerial(t *testing.T) {
+	ids := []string{"fig3", "fig5"}
+	if !testing.Short() {
+		ids = append(ids, "fig4", "fig6")
+	}
+	for _, id := range ids {
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			serial := e.Run(Options{Quick: true, Seed: 7, Workers: 1})
+			parallel := e.Run(Options{Quick: true, Seed: 7, Workers: 4})
+			if len(serial) != len(parallel) {
+				t.Fatalf("table count differs: %d vs %d", len(serial), len(parallel))
+			}
+			for i := range serial {
+				sCSV, pCSV := serial[i].CSV(), parallel[i].CSV()
+				if sCSV != pCSV {
+					t.Errorf("table %s differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s",
+						serial[i].ID, sCSV, pCSV)
+				}
+			}
+		})
+	}
+}
