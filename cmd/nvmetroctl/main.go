@@ -8,6 +8,12 @@
 //	nvmetroctl -vms 2 -function encryption -duration 20ms
 //	nvmetroctl -function replication
 //	nvmetroctl -function none -mode randwrite
+//	nvmetroctl qos [-vms 3] [-duration 20ms]
+//
+// The qos subcommand brings up multiple tenants with different QoS
+// contracts on one shared router worker, drives a contended workload and
+// dumps the arbiter state: per-tenant weights, token-bucket levels and SLO
+// attainment.
 package main
 
 import (
@@ -21,6 +27,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "qos" {
+		qosCmd(os.Args[2:])
+		return
+	}
 	var (
 		nvms     = flag.Int("vms", 2, "number of VMs to attach")
 		function = flag.String("function", "none", "storage function: none | encryption | sgx | replication")
@@ -103,5 +113,73 @@ func main() {
 	if res.Errors > 0 {
 		fmt.Printf("I/O errors: %d\n", res.Errors)
 		os.Exit(1)
+	}
+}
+
+// qosCmd is the `nvmetroctl qos` subcommand: a multi-tenant QoS demo and
+// state dump.
+func qosCmd(args []string) {
+	fs := flag.NewFlagSet("qos", flag.ExitOnError)
+	var (
+		nvms = fs.Int("vms", 3, "number of tenant VMs (contracts cycle gold/silver/best-effort)")
+		dur  = fs.Duration("duration", 20*time.Millisecond, "virtual measurement window")
+		qd   = fs.Int("qd", 32, "queue depth per tenant")
+		bs   = fs.Int("bs", 4096, "block size")
+	)
+	fs.Parse(args)
+
+	cfg := nvmetro.Defaults()
+	cfg.GuestCores = *nvms
+	sys := nvmetro.NewSystem(cfg)
+	defer sys.Close()
+
+	sol := sys.NewNVMetroShared(1).WithQoS(nvmetro.QoSConfig{})
+	fmt.Printf("host: %d cores, one shared router worker, WFQ arbiter enabled\n", cfg.Cores)
+
+	contracts := []struct {
+		label string
+		tc    nvmetro.QoSTenantConfig
+	}{
+		{"gold", nvmetro.QoSTenantConfig{Weight: 4, SLOTargetP99: 2 * nvmetro.Millisecond}},
+		{"silver", nvmetro.QoSTenantConfig{Weight: 2, IOPS: 20000, BurstOps: 64}},
+		{"best-effort", nvmetro.QoSTenantConfig{Weight: 1, BestEffort: true}},
+	}
+
+	parts := sys.CarveDisk(*nvms)
+	var targets []nvmetro.FIOTarget
+	for i := 0; i < *nvms; i++ {
+		v := sys.NewVM(1, 32<<20)
+		d := sys.AttachShared(sol, v, parts[i])
+		c := contracts[i%len(contracts)]
+		sol.SetQoS(v, c.tc)
+		targets = append(targets, d.Targets(1)...)
+		fmt.Printf("vm%d: %s contract %+v\n", i, c.label, c.tc)
+	}
+
+	fmt.Printf("\nrunning randread bs=%d qd=%d over %d tenant(s)...\n\n", *bs, *qd, *nvms)
+	res := sys.RunFIO(nvmetro.FIOConfig{
+		Mode: nvmetro.RandRead, BlockSize: uint32(*bs), QD: *qd,
+		Warmup: 2 * nvmetro.Millisecond, Duration: nvmetro.Duration(dur.Nanoseconds()),
+	}, targets)
+	fmt.Printf("aggregate: %.1f kIOPS, %.1f MB/s\n\n", res.KIOPS(), res.MBps())
+
+	printQoSTable(sol.QoSArbiter().Snapshot(sys.Env.Now()))
+}
+
+// printQoSTable renders per-tenant arbiter state as an aligned table.
+func printQoSTable(snaps []nvmetro.QoSTenantSnapshot) {
+	fmt.Printf("%-8s %6s %4s %4s %9s %8s %8s %9s %9s %8s %9s %8s %10s\n",
+		"tenant", "weight", "BE", "shed", "IOPS", "ops-lvl", "byt-lvl",
+		"admitted", "throttled", "deferred", "p99(us)", "SLO(us)", "attainment")
+	for _, t := range snaps {
+		slo := "-"
+		if t.SLOTarget > 0 {
+			slo = fmt.Sprintf("%.0f", float64(t.SLOTarget)/1e3)
+		}
+		fmt.Printf("%-8s %6.1f %4v %4v %9.0f %7.0f%% %7.0f%% %9d %9d %8d %9.1f %8s %9.0f%%\n",
+			t.Name, t.Weight, t.BestEffort, t.Shed,
+			t.IOPS, t.OpsLevel*100, t.BytLevel*100,
+			t.Admitted, t.Throttled, t.Deferred,
+			float64(t.P99)/1e3, slo, t.Attainment()*100)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"nvmetro/internal/device"
 	"nvmetro/internal/ebpf"
 	"nvmetro/internal/nvme"
+	"nvmetro/internal/qos"
 	"nvmetro/internal/vm"
 )
 
@@ -48,6 +49,9 @@ type request struct {
 	gcid   uint16
 	cmd    nvme.Command
 	s0, s1 uint64 // classifier scratch, persists across hooks
+
+	t0      sim.Time // admission time, for QoS latency tracking
+	qosBase float64  // base service units charged at admission
 
 	pending   int         // outstanding hops of any disposition
 	waiters   int         // outstanding dispComplete hops
@@ -163,6 +167,7 @@ type Controller struct {
 
 	retry       []func()
 	outstanding int
+	tenant      *qos.Tenant // arbiter state, nil until Router.EnableQoS
 }
 
 // Attach creates a virtual controller for v over part, served by one of the
@@ -182,6 +187,9 @@ func (r *Router) Attach(v *vm.VM, part device.Partition) *Controller {
 	}
 	if err := vc.LoadClassifier(DefaultClassifier()); err != nil {
 		panic(fmt.Sprintf("core: default classifier rejected: %v", err))
+	}
+	if r.qos != nil {
+		vc.registerTenant()
 	}
 	w.vcs = append(w.vcs, vc)
 	return vc
@@ -320,6 +328,10 @@ func (w *worker) classifyAndRoute(req *request, hook uint32, errStatus nvme.Stat
 	var ret uint64
 	if vc.native != nil {
 		ret = vc.native(vc.ctx[:])
+		if hook == HookVSQ {
+			// Native classifiers cannot tag a class; charge the default.
+			w.chargeClass(req, qos.ClassDefault)
+		}
 	} else {
 		var err error
 		if vc.cprog != nil && !vc.interp {
@@ -332,6 +344,12 @@ func (w *worker) classifyAndRoute(req *request, hook uint32, errStatus nvme.Stat
 			// host — the isolation property eBPF buys us.
 			w.completeReq(req, nvme.SCInternal)
 			return
+		}
+		if hook == HookVSQ {
+			// The qos_set_class helper tagged the command's scheduling
+			// class (0 when untagged); settle the class-multiplier delta
+			// against the tenant's admission charge.
+			w.chargeClass(req, qos.Class(vc.cvm.QoSClass))
 		}
 	}
 	// Direct mediation: copy back the (possibly rewritten) command and
@@ -425,6 +443,9 @@ func (w *worker) completeReq(req *request, status nvme.Status) {
 	if !status.OK() {
 		w.r.GuestErrors++
 	}
+	if ten := req.vq.vc.tenant; ten != nil {
+		w.r.qos.ObserveLatency(ten, w.r.env.Now().Sub(req.t0))
+	}
 	var e nvme.Completion
 	e.SetCID(req.gcid)
 	e.SetSQID(req.vq.qid)
@@ -470,6 +491,7 @@ func (w *worker) dispatchHQ(h hop) {
 		}
 	}
 	if len(vq.freeHTags) == 0 || vq.hqp.SQ.Full() {
+		w.r.Backpressure++
 		vc.retry = append(vc.retry, func() { w.dispatchHQ(h) })
 		return
 	}
@@ -505,6 +527,7 @@ func (w *worker) dispatchNQ(h hop) {
 		return
 	}
 	if vc.nq.nsq.Full() {
+		w.r.Backpressure++
 		vc.retry = append(vc.retry, func() { w.dispatchNQ(h) })
 		return
 	}

@@ -144,7 +144,13 @@ type fakeUIF struct {
 }
 
 func attachFakeUIF(env *sim.Env, vc *core.Controller) *fakeUIF {
-	u := &fakeUIF{nq: vc.AttachUIF(256)}
+	return attachFakeUIFDepth(env, vc, 256)
+}
+
+// attachFakeUIFDepth is attachFakeUIF with a caller-chosen notify queue
+// depth; backpressure tests use shallow queues to force NSQ-full retries.
+func attachFakeUIFDepth(env *sim.Env, vc *core.Controller, depth uint32) *fakeUIF {
+	u := &fakeUIF{nq: vc.AttachUIF(depth)}
 	wake := sim.NewCond(env)
 	u.nq.OnNotify = func() { wake.Signal(nil) }
 	env.Go("fake-uif", func(p *sim.Proc) {

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"nvmetro/internal/ebpf"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/qos"
+	"nvmetro/internal/sim"
+)
+
+// QoS integration: when an arbiter is installed, the router workers stop
+// draining shadowed submission queues unconditionally and instead run an
+// arbitrated admission pass per poll round (gatherQoS). Commands denied by
+// a token bucket or the admission controller stay in their VSQ — the guest
+// driver blocks on the full ring, so throttling backpressures end to end
+// without drops.
+
+// EnableQoS installs a WFQ arbiter on the router. Controllers already
+// attached are registered as tenants with default (unlimited, weight-1)
+// contracts; controllers attached later register automatically. Returns
+// the arbiter for direct inspection. Calling EnableQoS twice returns the
+// existing arbiter.
+func (r *Router) EnableQoS(cfg qos.Config) *qos.Arbiter {
+	if r.qos == nil {
+		r.qos = qos.NewArbiter(cfg)
+		for _, vc := range r.allControllers() {
+			vc.registerTenant()
+		}
+	}
+	return r.qos
+}
+
+// QoS returns the installed arbiter (nil when QoS is disabled).
+func (r *Router) QoS() *qos.Arbiter { return r.qos }
+
+// registerTenant enrolls the controller with the router's arbiter.
+func (vc *Controller) registerTenant() {
+	vc.tenant = vc.router.qos.AddTenant(fmt.Sprintf("vm%d", vc.vm.ID), qos.TenantConfig{})
+}
+
+// SetQoS replaces the controller's QoS contract in place (weight, rate
+// limits, SLO target). Requires EnableQoS on the router first.
+func (vc *Controller) SetQoS(cfg qos.TenantConfig) {
+	if vc.router.qos == nil {
+		panic("core: SetQoS requires Router.EnableQoS")
+	}
+	vc.router.qos.Configure(vc.tenant, cfg)
+}
+
+// Tenant returns the controller's arbiter state (nil when QoS is
+// disabled).
+func (vc *Controller) Tenant() *qos.Tenant { return vc.tenant }
+
+// cmdBytes is the payload size the arbiter charges for a command;
+// non-I/O commands charge the one-unit minimum.
+func cmdBytes(vq *vqState, cmd *nvme.Command) int {
+	if !cmd.IsIO() {
+		return 0
+	}
+	return int(uint64(cmd.Blocks()) * uint64(vq.vc.part.BlockSize()))
+}
+
+// qosAdmitBatch bounds how many commands one poll round may admit. The
+// worker charges a whole round's CPU before any effect lands, so an
+// unbounded round would serialize a deep backlog ahead of a freshly
+// admitted command and erase the arbiter's interleaving; a small batch is
+// the WFQ pacing granularity.
+const qosAdmitBatch = 8
+
+// gatherQoS is the arbitrated submission pass: repeatedly scan every
+// attached VSQ head, pick the eligible tenant with the smallest virtual
+// start tag, and admit its command, until no head is eligible or the
+// round's batch is full. Returns the number of commands admitted and the
+// backlog left behind in the rings (the worker must keep busy-polling
+// while backlog remains, so simulated time advances and buckets refill —
+// parking would deadlock the guest against a bucket that can never
+// refill).
+func (w *worker) gatherQoS(effects *[]func(), work *sim.Duration) (admitted, backlog int) {
+	q := w.r.qos
+	now := w.r.env.Now()
+	q.Tick(now)
+	var cmd nvme.Command
+	for admitted < qosAdmitBatch {
+		var best *vqState
+		var bestCmd nvme.Command
+		var bestBytes int
+		for _, vc := range w.vcs {
+			for _, vq := range vc.vqs {
+				if !vq.vsq.Peek(&cmd) {
+					continue
+				}
+				nb := cmdBytes(vq, &cmd)
+				if !q.Eligible(vc.tenant, nb, now) {
+					continue
+				}
+				if best == nil || q.Before(vc.tenant, best.vc.tenant) {
+					best, bestCmd, bestBytes = vq, cmd, nb
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		best.vsq.Pop(&bestCmd) // consume the admitted head
+		vc := best.vc
+		vc.outstanding++
+		admitted++
+		base := q.Serve(vc.tenant, bestBytes, now)
+		req := &request{vq: best, gcid: bestCmd.CID(), cmd: bestCmd, t0: now, qosBase: base}
+		*work += vc.classifyCost(w.r.costs)
+		*effects = append(*effects, func() { w.classifyAndRoute(req, HookVSQ, 0) })
+	}
+	for _, vc := range w.vcs {
+		for _, vq := range vc.vqs {
+			backlog += int(vq.vsq.Len())
+		}
+	}
+	return admitted, backlog
+}
+
+// chargeClass applies the classifier-tagged scheduling class to the
+// request's admission charge; runs right after the HookVSQ classification.
+func (w *worker) chargeClass(req *request, class qos.Class) {
+	if ten := req.vq.vc.tenant; ten != nil {
+		w.r.qos.ChargeClass(ten, req.qosBase, class)
+	}
+}
+
+// NewQoSClassMap builds the standard per-opcode class policy map for
+// class-tagging classifiers: the entry index is the NVMe opcode and the
+// first byte of the value is the qos.Class to tag. All opcodes default to
+// ClassDefault; SetOpcodeClass installs exceptions.
+func NewQoSClassMap() *ebpf.ArrayMap {
+	return ebpf.NewArrayMap(8, 256)
+}
+
+// SetOpcodeClass installs a class policy for one opcode in a map built by
+// NewQoSClassMap.
+func SetOpcodeClass(m *ebpf.ArrayMap, op uint8, class qos.Class) {
+	m.SetU64(int(op), 0, uint64(class))
+}

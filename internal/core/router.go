@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nvmetro/internal/nvme"
+	"nvmetro/internal/qos"
 	"nvmetro/internal/sim"
 )
 
@@ -53,6 +54,7 @@ type Router struct {
 	env     *sim.Env
 	costs   RouterCosts
 	workers []*worker
+	qos     *qos.Arbiter // nil until EnableQoS
 
 	// FastPathDeadline bounds how long a fast-path hop may stay in flight
 	// before the router aborts it back to the guest (0 disables). The
@@ -148,8 +150,7 @@ func (w *worker) run(p *sim.Proc) {
 
 		// Phase 1: gather. Data-structure work happens instantly; the CPU
 		// time it represents is charged in phase 2 before effects land.
-		type effect func()
-		var effects []effect
+		var effects []func()
 
 		kd := w.kdone
 		w.kdone = nil
@@ -175,14 +176,17 @@ func (w *worker) run(p *sim.Proc) {
 				}
 			}
 			for _, vq := range vc.vqs {
-				// New guest submissions.
-				var cmd nvme.Command
-				for vq.vsq.Pop(&cmd) {
-					vc.outstanding++
-					outstanding++
-					req := &request{vq: vq, gcid: cmd.CID(), cmd: cmd}
-					work += vc.classifyCost(c)
-					effects = append(effects, func() { w.classifyAndRoute(req, HookVSQ, 0) })
+				// New guest submissions (the arbitrated pass below handles
+				// these when QoS is enabled).
+				if w.r.qos == nil {
+					var cmd nvme.Command
+					for vq.vsq.Pop(&cmd) {
+						vc.outstanding++
+						outstanding++
+						req := &request{vq: vq, gcid: cmd.CID(), cmd: cmd, t0: w.r.env.Now()}
+						work += vc.classifyCost(c)
+						effects = append(effects, func() { w.classifyAndRoute(req, HookVSQ, 0) })
+					}
 				}
 				// Fast-path completions.
 				var e nvme.Completion
@@ -213,8 +217,19 @@ func (w *worker) run(p *sim.Proc) {
 			}
 		}
 
+		// Arbitrated admission pass: WFQ + token buckets + admission
+		// control decide which VSQ heads enter this round. Commands left
+		// throttled in their rings are backlog the worker must keep
+		// polling for (time must advance for buckets to refill).
+		backlog := 0
+		if w.r.qos != nil {
+			var admitted int
+			admitted, backlog = w.gatherQoS(&effects, &work)
+			outstanding += admitted
+		}
+
 		if len(effects) == 0 {
-			if outstanding == 0 {
+			if outstanding == 0 && backlog == 0 {
 				// Nothing in flight anywhere: park until a doorbell hint,
 				// kernel completion or UIF notification arrives. This is
 				// the "stop polling during inactivity" behaviour.
@@ -222,7 +237,7 @@ func (w *worker) run(p *sim.Proc) {
 				w.wake.Wait()
 				continue
 			}
-			// Busy-poll while requests are in flight.
+			// Busy-poll while requests are in flight or throttled.
 			w.thread.Exec(p, work)
 			continue
 		}

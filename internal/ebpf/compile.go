@@ -141,6 +141,7 @@ const (
 	cCallUpdate
 	cCallDelete
 	cCallPrandom
+	cCallQoS
 	cCallGeneric // imm = helper id
 )
 
@@ -173,7 +174,7 @@ var copNames = map[copCode]string{
 	cJSLtReg: "jslt_reg", cJSLeReg: "jsle_reg", cJSetReg: "jset_reg",
 	cCallLookup: "call_map_lookup", cCallUpdate: "call_map_update",
 	cCallDelete: "call_map_delete", cCallPrandom: "call_prandom",
-	cCallGeneric: "call_generic",
+	cCallQoS: "call_qos_set_class", cCallGeneric: "call_generic",
 }
 
 // cop is one pre-decoded operation. off carries the memory displacement for
@@ -485,6 +486,8 @@ func compileCall(id int32, helpers *HelperRegistry) cop {
 		o.code = cCallDelete
 	case id == HelperGetPrandom && name == "get_prandom_u32":
 		o.code = cCallPrandom
+	case id == HelperQoSSetClass && name == "qos_set_class":
+		o.code = cCallQoS
 	default:
 		o.code = cCallGeneric
 	}

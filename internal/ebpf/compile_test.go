@@ -77,7 +77,7 @@ func genProgram(rng *rand.Rand, dm diffMaps) *Program {
 	b.Store(SizeDW, R10, -24, R9)
 
 	emitSnippet := func() {
-		switch rng.Intn(12) {
+		switch rng.Intn(13) {
 		case 0: // 64-bit ALU, register source
 			b.ALU(aluOps[rng.Intn(len(aluOps))], reg(), reg())
 		case 1: // 64-bit ALU, immediate (including 0: div/mod-by-zero)
@@ -159,6 +159,10 @@ func genProgram(rng *rand.Rand, dm diffMaps) *Program {
 			b.MovReg(R2, R10)
 			b.AddImm(R2, -4)
 			b.Call(HelperMapDelete)
+			b.ALU(ALUAdd, reg(), R0)
+		case 11: // qos class tag (sometimes out of range -> -1, tag untouched)
+			b.MovImm(R1, int32(rng.Intn(6)))
+			b.Call(HelperQoSSetClass)
 			b.ALU(ALUAdd, reg(), R0)
 		default: // prandom
 			b.Call(HelperGetPrandom)
@@ -270,6 +274,10 @@ func TestDifferentialCompiledVsInterpreter(t *testing.T) {
 			if !bytes.Equal(ctxI, ctxC) {
 				t.Fatalf("seed %d inv %d: ctx diverged\ninterp:   %x\ncompiled: %x\n%s",
 					seed, inv, ctxI, ctxC, Disassemble(progI))
+			}
+			if vmI.QoSClass != vmC.QoSClass {
+				t.Fatalf("seed %d inv %d: QoS class %d (interp) != %d (compiled)\n%s",
+					seed, inv, vmI.QoSClass, vmC.QoSClass, Disassemble(progI))
 			}
 		}
 		if err := mapsI.equal(mapsC); err != nil {
@@ -562,5 +570,61 @@ func TestCompiledDump(t *testing.T) {
 	}
 	if cp.NumOps() != 3 {
 		t.Errorf("NumOps = %d, want 3 (ld_imm64 fused)", cp.NumOps())
+	}
+}
+
+// TestParityQoSSetClass checks the qos_set_class helper on both tiers:
+// valid classes tag the VM and return 0, out-of-range classes return -1
+// and leave the tag untouched, and every invocation starts untagged.
+func TestParityQoSSetClass(t *testing.T) {
+	for _, tc := range []struct {
+		class   int32
+		wantRet uint64
+		wantTag uint8
+	}{
+		{0, 0, 0}, {1, 0, 1}, {3, 0, 3}, {4, ^uint64(0), 0}, {255, ^uint64(0), 0},
+	} {
+		p := NewBuilder().
+			MovImm(R1, tc.class).
+			Call(HelperQoSSetClass).
+			Exit().
+			MustProgram("qostag")
+		cp, err := Compile(p, &Verifier{})
+		if err != nil {
+			t.Fatalf("class %d: compile: %v", tc.class, err)
+		}
+		vmI, vmC := NewVM(nil), NewVM(nil)
+		retI, errI := vmI.Run(p, nil)
+		retC, errC := vmC.RunCompiled(cp, nil)
+		if errI != nil || errC != nil {
+			t.Fatalf("class %d: errors %v / %v", tc.class, errI, errC)
+		}
+		if retI != tc.wantRet || retC != tc.wantRet {
+			t.Errorf("class %d: r0 interp %#x compiled %#x, want %#x", tc.class, retI, retC, tc.wantRet)
+		}
+		if vmI.QoSClass != tc.wantTag || vmC.QoSClass != tc.wantTag {
+			t.Errorf("class %d: tag interp %d compiled %d, want %d", tc.class, vmI.QoSClass, vmC.QoSClass, tc.wantTag)
+		}
+		// A following invocation that does not tag must reset the class.
+		clear := NewBuilder().MovImm(R0, 0).Exit().MustProgram("noop")
+		if _, err := vmI.Run(clear, nil); err != nil {
+			t.Fatal(err)
+		}
+		ccp, _ := Compile(clear, &Verifier{})
+		if _, err := vmC.RunCompiled(ccp, nil); err != nil {
+			t.Fatal(err)
+		}
+		if vmI.QoSClass != 0 || vmC.QoSClass != 0 {
+			t.Errorf("class %d: tag survived into next invocation", tc.class)
+		}
+	}
+	// The assembler resolves the helper by name.
+	p, err := Assemble("mov r1, 2\ncall qos_set_class\nexit\n", "asmqos", nil, nil)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	vm := NewVM(nil)
+	if _, err := vm.Run(p, nil); err != nil || vm.QoSClass != 2 {
+		t.Fatalf("asm call: class %d err %v", vm.QoSClass, err)
 	}
 }

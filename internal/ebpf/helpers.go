@@ -4,12 +4,14 @@ import (
 	"fmt"
 )
 
-// Helper IDs (matching the kernel's numbering where applicable).
+// Helper IDs (matching the kernel's numbering where applicable; the NVMetro
+// extensions live above the kernel range).
 const (
-	HelperMapLookup  = 1
-	HelperMapUpdate  = 2
-	HelperMapDelete  = 3
-	HelperGetPrandom = 7
+	HelperMapLookup   = 1
+	HelperMapUpdate   = 2
+	HelperMapDelete   = 3
+	HelperGetPrandom  = 7
+	HelperQoSSetClass = 64
 )
 
 // Helper argument types, used by the verifier to type-check calls.
@@ -144,5 +146,24 @@ func DefaultHelpers() *HelperRegistry {
 			// the compiled tier (crun.go) so both tiers agree.
 			return scalar(prandomU32(vm.Invocations)), nil
 		})
+	hr.register(HelperQoSSetClass, "qos_set_class",
+		[]ArgType{ArgScalar}, RetScalar,
+		func(vm *VM, r []val) (val, error) {
+			// Tags the in-flight command's QoS scheduling class; the router
+			// reads it back after the classifier returns. Out-of-range
+			// classes are rejected (-1) and leave the tag untouched, so a
+			// buggy program degrades to class-default scheduling.
+			c := r[R1].n
+			if c >= qosNumClasses {
+				return scalar(^uint64(0)), nil
+			}
+			vm.QoSClass = uint8(c)
+			return scalar(0), nil
+		})
 	return hr
 }
+
+// qosNumClasses mirrors qos.NumClasses, kept local so the generic VM layer
+// stays decoupled from the scheduler; the core wiring tests assert the two
+// stay equal.
+const qosNumClasses = 4

@@ -112,66 +112,97 @@ type job struct {
 // Run executes cfg with one job per target, returning aggregate results.
 // It must be called from outside process context (it drives env itself).
 func Run(env *sim.Env, cpu *sim.CPU, targets []Target, cfg Config) Result {
-	if cfg.WorkSet == 0 {
-		cfg.WorkSet = 1 << 30
-	}
-	start := env.Now()
-	measFrom := start.Add(cfg.Warmup)
-	measTo := measFrom.Add(cfg.Duration)
+	return RunMixed(env, cpu, []Group{{Targets: targets, Cfg: cfg}})[0]
+}
 
-	jobs := make([]*job, len(targets))
-	for i, t := range targets {
-		blocksPer := cfg.WorkSet / uint64(t.Disk.BlockSize())
-		total := t.Disk.Blocks()
-		if blocksPer*uint64(len(targets)) > total {
-			blocksPer = total / uint64(len(targets))
+// Group pairs one set of targets with its own workload configuration for a
+// mixed run (e.g. a rate-gated latency-probe victim alongside a closed-loop
+// aggressor).
+type Group struct {
+	Name    string
+	Targets []Target
+	Cfg     Config
+}
+
+// RunMixed executes several groups concurrently over one shared measurement
+// window and returns one aggregate Result per group, in order. The warmup
+// and duration are taken from the first group's config and applied to all;
+// the CPU usage reported is the whole host's over the window, identical in
+// every Result. Jobs within a group split the addressable region between
+// themselves; groups are expected to target disjoint disks.
+func RunMixed(env *sim.Env, cpu *sim.CPU, groups []Group) []Result {
+	start := env.Now()
+	measFrom := start.Add(groups[0].Cfg.Warmup)
+	measTo := measFrom.Add(groups[0].Cfg.Duration)
+	window := groups[0].Cfg.Duration
+
+	idx := 0
+	jobsPer := make([][]*job, len(groups))
+	for gi := range groups {
+		cfg := groups[gi].Cfg
+		if cfg.WorkSet == 0 {
+			cfg.WorkSet = 1 << 30
 		}
-		j := &job{
-			cfg: cfg, t: t, env: env, idx: i,
-			regionLB: uint64(i) * blocksPer,
-			regionNB: blocksPer,
-			comp:     sim.NewCond(env),
-			measFrom: measFrom,
-			measTo:   measTo,
-			lat:      metrics.NewHistogram(),
-		}
-		// Preallocate one guest buffer per queue slot.
-		for s := 0; s < cfg.QD; s++ {
-			base, pages, err := t.VM.Mem.AllocBuffer(cfg.BlockSize)
-			if err != nil {
-				panic(err)
+		targets := groups[gi].Targets
+		for i, t := range targets {
+			blocksPer := cfg.WorkSet / uint64(t.Disk.BlockSize())
+			total := t.Disk.Blocks()
+			if blocksPer*uint64(len(targets)) > total {
+				blocksPer = total / uint64(len(targets))
 			}
-			// Non-zero payload so encryption paths work on real data.
-			fill := make([]byte, cfg.BlockSize)
-			for k := range fill {
-				fill[k] = byte(k*7 + i + s)
+			j := &job{
+				cfg: cfg, t: t, env: env, idx: idx,
+				regionLB: uint64(i) * blocksPer,
+				regionNB: blocksPer,
+				comp:     sim.NewCond(env),
+				measFrom: measFrom,
+				measTo:   measTo,
+				lat:      metrics.NewHistogram(),
 			}
-			t.VM.Mem.WriteAt(fill, base)
-			j.bufs = append(j.bufs, base)
-			j.pages = append(j.pages, pages)
+			// Preallocate one guest buffer per queue slot.
+			for s := 0; s < cfg.QD; s++ {
+				base, pages, err := t.VM.Mem.AllocBuffer(cfg.BlockSize)
+				if err != nil {
+					panic(err)
+				}
+				// Non-zero payload so encryption paths work on real data.
+				fill := make([]byte, cfg.BlockSize)
+				for k := range fill {
+					fill[k] = byte(k*7 + i + s)
+				}
+				t.VM.Mem.WriteAt(fill, base)
+				j.bufs = append(j.bufs, base)
+				j.pages = append(j.pages, pages)
+			}
+			jobsPer[gi] = append(jobsPer[gi], j)
+			env.Go(fmt.Sprintf("fio-job%d", idx), j.run)
+			idx++
 		}
-		jobs[i] = j
-		env.Go(fmt.Sprintf("fio-job%d", i), j.run)
 	}
 
 	env.RunUntil(measFrom)
 	snap := cpu.Snapshot()
 	env.RunUntil(measTo)
+	usage := cpu.Since(snap)
 
-	res := Result{Configs: cfg, CPU: cpu.Since(snap)}
-	res.Lat = metrics.NewHistogram()
-	res.WindowSec = cfg.Duration.Seconds()
-	for _, j := range jobs {
-		j.stop = true
-		s := metrics.Summary{Ops: j.ops.Value(), Bytes: j.bytes.Value(), WindowSec: cfg.Duration.Seconds(), Lat: j.lat}
-		res.PerJob = append(res.PerJob, s)
-		res.Ops += s.Ops
-		res.Bytes += s.Bytes
-		res.Errors += j.errors.Value()
-		res.Lat.Merge(j.lat)
+	out := make([]Result, len(groups))
+	for gi, jobs := range jobsPer {
+		res := Result{Configs: groups[gi].Cfg, CPU: usage}
+		res.Lat = metrics.NewHistogram()
+		res.WindowSec = window.Seconds()
+		for _, j := range jobs {
+			j.stop = true
+			s := metrics.Summary{Ops: j.ops.Value(), Bytes: j.bytes.Value(), WindowSec: window.Seconds(), Lat: j.lat}
+			res.PerJob = append(res.PerJob, s)
+			res.Ops += s.Ops
+			res.Bytes += s.Bytes
+			res.Errors += j.errors.Value()
+			res.Lat.Merge(j.lat)
+		}
+		res.CPUCores = res.CPU.Cores()
+		out[gi] = res
 	}
-	res.CPUCores = res.CPU.Cores()
-	return res
+	return out
 }
 
 // nextLBA picks the next I/O location, in disk blocks.

@@ -8,15 +8,29 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 )
 
 // Options controls run scale.
 type Options struct {
-	Quick   bool  // shorter windows and a thinner grid for CI/bench runs
-	Seed    int64 // simulation seed
-	Workers int   // concurrent grid points; <= 0 means GOMAXPROCS, 1 is serial
+	Quick bool  // shorter windows and a thinner grid for CI/bench runs
+	Seed  int64 // simulation seed
+	// Workers is the number of concurrent grid points. The zero value —
+	// the default — resolves to runtime.GOMAXPROCS(0), so grids run
+	// parallel unless a caller forces Workers to 1 (serial). Results are
+	// identical either way; see TestParallelMatchesSerial.
+	Workers int
+}
+
+// EffectiveWorkers resolves Workers: values <= 0 (including the default
+// zero value) mean runtime.GOMAXPROCS(0).
+func (o Options) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Table is one rendered result table.

@@ -1,22 +1,18 @@
 package harness
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// forEach runs fn(0..n-1) across up to min(workers, n) goroutines, where
-// workers is Options.Workers (<= 0 means GOMAXPROCS). Every experiment grid
-// point builds its own simulation environment and RNG from the seed, so
-// points are independent and results do not depend on execution order;
-// callers store results by index so the assembled tables come out identical
-// to a serial run (see TestParallelMatchesSerial).
+// forEach runs fn(0..n-1) across up to min(EffectiveWorkers, n)
+// goroutines. Every experiment grid point builds its own simulation
+// environment and RNG from the seed, so points are independent and results
+// do not depend on execution order; callers store results by index so the
+// assembled tables come out identical to a serial run (see
+// TestParallelMatchesSerial).
 func (o Options) forEach(n int, fn func(i int)) {
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := o.EffectiveWorkers()
 	if workers > n {
 		workers = n
 	}

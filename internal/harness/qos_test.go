@@ -1,0 +1,53 @@
+package harness
+
+import "testing"
+
+// TestQoSIsolationE2E runs the qos experiment at a fixed seed and checks
+// the isolation claims end to end: the WFQ-protected victim keeps its p99
+// within 2x of its solo run while the aggressor offers more than 10x its
+// contracted rate, the aggressor is held to its contract, and the
+// closed-loop pair converges to the 3:1 weight ratio.
+func TestQoSIsolationE2E(t *testing.T) {
+	o := Options{Quick: true, Seed: 1}
+	tab := qosTable(o)
+
+	soloP99 := tab.Cell("victim solo", "victim p99 us")
+	noqosP99 := tab.Cell("no-qos + aggressor", "victim p99 us")
+	wfqP99 := tab.Cell("wfq + capped aggressor", "victim p99 us")
+	if soloP99 <= 0 {
+		t.Fatalf("solo p99 = %v, want > 0", soloP99)
+	}
+	if wfqP99 > 2*soloP99 {
+		t.Errorf("wfq victim p99 %.1f us > 2x solo %.1f us: isolation failed", wfqP99, soloP99)
+	}
+	if noqosP99 <= wfqP99 {
+		t.Errorf("no-qos victim p99 %.1f us <= wfq %.1f us: aggressor not disruptive, scenario too weak", noqosP99, wfqP99)
+	}
+
+	// The aggressor must genuinely offer >10x its contract when unshaped...
+	contract := float64(aggrContractIOPS) / 1e3
+	if unshaped := tab.Cell("no-qos + aggressor", "aggr kIOPS"); unshaped < 10*contract {
+		t.Errorf("unshaped aggressor %.1f kIOPS < 10x contract %.1f kIOPS", unshaped, contract)
+	}
+	// ...and be held to the contract (within 20%) under the arbiter.
+	if shaped := tab.Cell("wfq + capped aggressor", "aggr kIOPS"); shaped < 0.8*contract || shaped > 1.2*contract {
+		t.Errorf("shaped aggressor %.1f kIOPS outside 20%% of contract %.1f kIOPS", shaped, contract)
+	}
+	// The victim keeps its full rate under the arbiter.
+	soloK := tab.Cell("victim solo", "victim kIOPS")
+	if wfqK := tab.Cell("wfq + capped aggressor", "victim kIOPS"); wfqK < 0.95*soloK {
+		t.Errorf("wfq victim %.1f kIOPS < solo %.1f kIOPS", wfqK, soloK)
+	}
+
+	// Closed-loop pair at 3:1 weights: throughput ratio converges to the
+	// weights (generous band — the probe quantum and poll overhead shift
+	// the exact split).
+	v := tab.Cell("wfq 3:1 closed-loop", "victim kIOPS")
+	a := tab.Cell("wfq 3:1 closed-loop", "aggr kIOPS")
+	if a <= 0 {
+		t.Fatalf("closed-loop aggressor %.1f kIOPS, want > 0", a)
+	}
+	if ratio := v / a; ratio < 2.2 || ratio > 3.8 {
+		t.Errorf("closed-loop throughput ratio %.2f, want ~3 (weights 3:1)", ratio)
+	}
+}

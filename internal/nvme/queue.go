@@ -52,6 +52,18 @@ func (q *SQ) Push(c *Command) bool {
 	return true
 }
 
+// Peek copies the oldest command into c without consuming it, reporting
+// false when empty. The router's QoS gate uses this to learn a command's
+// cost (payload size) before deciding whether to admit it — a denied
+// command stays in the ring and backpressures the producer.
+func (q *SQ) Peek(c *Command) bool {
+	if q.Empty() {
+		return false
+	}
+	copy(c[:], q.buf[q.head*CommandSize:])
+	return true
+}
+
 // Pop dequeues the oldest command into c, reporting false when empty.
 func (q *SQ) Pop(c *Command) bool {
 	if q.Empty() {

@@ -1,0 +1,71 @@
+package qos
+
+import "nvmetro/internal/sim"
+
+// Bucket is a token bucket with continuous refill: rate tokens per second
+// accumulate up to burst, and Take consumes whole token amounts. A zero
+// rate disables the bucket (Take always succeeds). Buckets gate admission
+// only — a failed Take leaves the command queued in its shadowed SQ
+// (backpressure), it is never dropped.
+type Bucket struct {
+	rate   float64 // tokens per second (0 = unlimited)
+	burst  float64 // capacity
+	tokens float64
+	last   sim.Time
+}
+
+// NewBucket creates a bucket that starts full.
+func NewBucket(rate, burst float64) *Bucket {
+	if burst <= 0 {
+		burst = rate // default burst: one second of rate
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Limited reports whether the bucket enforces a rate.
+func (b *Bucket) Limited() bool { return b != nil && b.rate > 0 }
+
+// refill accrues tokens for the time elapsed since the last refill.
+func (b *Bucket) refill(now sim.Time) {
+	if now <= b.last {
+		return
+	}
+	b.tokens += b.rate * now.Sub(b.last).Seconds()
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Has reports whether n tokens are available at now without consuming.
+func (b *Bucket) Has(n float64, now sim.Time) bool {
+	if !b.Limited() {
+		return true
+	}
+	b.refill(now)
+	return b.tokens >= n
+}
+
+// Take consumes n tokens, reporting false (and consuming nothing) when
+// fewer are available.
+func (b *Bucket) Take(n float64, now sim.Time) bool {
+	if !b.Limited() {
+		return true
+	}
+	b.refill(now)
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Level returns the current fill fraction in [0, 1] (1 for unlimited
+// buckets — an unenforced bucket is never the bottleneck).
+func (b *Bucket) Level(now sim.Time) float64 {
+	if !b.Limited() || b.burst <= 0 {
+		return 1
+	}
+	b.refill(now)
+	return b.tokens / b.burst
+}

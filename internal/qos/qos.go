@@ -1,0 +1,150 @@
+// Package qos implements multi-tenant QoS arbitration for the NVMetro I/O
+// router: a virtual-time weighted fair queueing (WFQ) arbiter deciding
+// which VM's pending commands enter each hop, per-tenant token buckets
+// (IOPS and bytes/s, burst-capable) whose exhaustion backpressures into
+// the shadowed submission queue rather than dropping, and per-tenant SLO
+// tracking (windowed latency histograms against a p99 target) feeding an
+// admission controller that sheds best-effort tenants first under
+// overload.
+//
+// The arbiter is driven synchronously from the router worker loop under
+// the simulation run token, so — like the eBPF VM — it needs no internal
+// locking, and all of its state evolves deterministically from the
+// observation sequence. Classifiers participate through the qos_set_class
+// eBPF helper: the sandboxed policy that picks a command's I/O path also
+// tags its scheduling class, and the arbiter scales the command's virtual
+// service cost by the class multiplier.
+package qos
+
+import (
+	"nvmetro/internal/metrics"
+	"nvmetro/internal/sim"
+)
+
+// Class is a per-command scheduling class, tagged by the classifier via
+// the qos_set_class helper. The class scales the command's virtual
+// service cost: low multipliers are scheduled sooner under contention.
+type Class uint8
+
+// Scheduling classes.
+const (
+	ClassDefault   Class = 0 // tenant's native weight
+	ClassLatency   Class = 1 // boosted: half service cost
+	ClassBulk      Class = 2 // deprioritized: double service cost
+	ClassScavenger Class = 3 // strongly deprioritized background work
+
+	NumClasses = 4
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassDefault:
+		return "default"
+	case ClassLatency:
+		return "latency"
+	case ClassBulk:
+		return "bulk"
+	case ClassScavenger:
+		return "scavenger"
+	}
+	return "?"
+}
+
+// TenantConfig is one tenant's QoS contract.
+type TenantConfig struct {
+	// Weight is the WFQ share (relative to the other tenants' weights);
+	// <= 0 means 1.
+	Weight float64
+	// IOPS and BytesPerSec are token-bucket rate limits (0 = unlimited).
+	// BurstOps/BurstBytes are the bucket capacities; 0 defaults to one
+	// tenth of a second of the respective rate.
+	IOPS        float64
+	BytesPerSec float64
+	BurstOps    float64
+	BurstBytes  float64
+	// BestEffort marks the tenant as sheddable: the admission controller
+	// defers its commands first when an SLO tenant misses its target.
+	BestEffort bool
+	// SLOTargetP99 is the per-window p99 latency target (0 = no SLO).
+	// Only non-best-effort tenants' targets drive admission control.
+	SLOTargetP99 sim.Duration
+}
+
+// Config tunes the arbiter.
+type Config struct {
+	// BytesPerUnit is the payload size of one virtual service unit; a
+	// command costs max(1, bytes/BytesPerUnit) units before the class
+	// multiplier. <= 0 means 4096.
+	BytesPerUnit float64
+	// ClassCost are the per-class service cost multipliers; zero entries
+	// take the defaults {1, 0.5, 2, 8}.
+	ClassCost [NumClasses]float64
+	// Window is the SLO evaluation and rate-gauge window (<= 0: 1ms).
+	Window sim.Duration
+	// RecoverWindows is how many consecutive windows with every SLO met
+	// must pass before shed best-effort tenants are re-admitted (<= 0: 2).
+	RecoverWindows int
+	// RateAlpha is the EWMA smoothing factor for the rate gauges
+	// (<= 0: 0.5).
+	RateAlpha float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BytesPerUnit <= 0 {
+		c.BytesPerUnit = 4096
+	}
+	def := [NumClasses]float64{1, 0.5, 2, 8}
+	for i, m := range c.ClassCost {
+		if m <= 0 {
+			c.ClassCost[i] = def[i]
+		}
+	}
+	if c.Window <= 0 {
+		c.Window = sim.Millisecond
+	}
+	if c.RecoverWindows <= 0 {
+		c.RecoverWindows = 2
+	}
+	if c.RateAlpha <= 0 || c.RateAlpha > 1 {
+		c.RateAlpha = 0.5
+	}
+	return c
+}
+
+// Tenant is one VM's scheduling state inside the arbiter.
+type Tenant struct {
+	name   string
+	cfg    TenantConfig
+	weight float64
+
+	finish float64 // virtual finish tag of the last served unit
+	shed   bool    // deferred by the admission controller
+
+	ops   *Bucket
+	bytes *Bucket
+
+	rateOps   *metrics.Rate
+	rateBytes *metrics.Rate
+
+	lat    *metrics.Histogram // cumulative
+	winLat *metrics.Histogram // current SLO window
+	winEnd sim.Time
+	met    uint64 // windows with p99 <= target
+	missed uint64 // windows with p99 > target
+
+	// Counters (also exported via Collect for determinism fingerprints).
+	Admitted  uint64 // commands granted entry by the arbiter
+	Throttled uint64 // admission attempts deferred by a token bucket
+	Deferred  uint64 // admission attempts deferred while shed
+	PerClass  [NumClasses]uint64
+}
+
+// Name returns the tenant identifier.
+func (t *Tenant) Name() string { return t.name }
+
+// Config returns the tenant's QoS contract.
+func (t *Tenant) Config() TenantConfig { return t.cfg }
+
+// Shed reports whether the admission controller currently defers this
+// tenant.
+func (t *Tenant) Shed() bool { return t.shed }

@@ -1,0 +1,309 @@
+package qos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nvmetro/internal/metrics"
+	"nvmetro/internal/sim"
+)
+
+func TestBucketRefillAndTake(t *testing.T) {
+	b := NewBucket(1000, 100) // 1000/s, burst 100
+	now := sim.Time(0)
+	if !b.Take(100, now) {
+		t.Fatal("full bucket refused its burst")
+	}
+	if b.Take(1, now) {
+		t.Fatal("empty bucket granted a token")
+	}
+	// 50 ms -> 50 tokens.
+	now = sim.Time(50 * sim.Millisecond)
+	if !b.Has(50, now) || b.Has(51, now) {
+		t.Fatalf("refill wrong: level=%.2f", b.Level(now))
+	}
+	// Refill never exceeds burst.
+	now = sim.Time(10 * sim.Second)
+	if got := b.Level(now); got != 1 {
+		t.Fatalf("level after long idle = %.2f, want 1", got)
+	}
+	if b.Take(101, now) {
+		t.Fatal("take above burst succeeded")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	var b *Bucket // nil bucket: unlimited
+	if b.Limited() || !b.Take(1e9, 0) || !b.Has(1e9, 0) || b.Level(0) != 1 {
+		t.Fatal("nil bucket must behave as unlimited")
+	}
+}
+
+// admitOne runs one arbiter scan over tenants with the given pending
+// payload sizes (0 = no backlog) and serves the winner, mirroring the
+// router's gather loop. Returns the served index or -1.
+func admitOne(a *Arbiter, pending []int, now sim.Time) int {
+	best := -1
+	for i, t := range a.Tenants() {
+		if pending[i] == 0 || !a.Eligible(t, pending[i], now) {
+			continue
+		}
+		if best == -1 || a.Before(t, a.Tenants()[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		a.Serve(a.Tenants()[best], pending[best], now)
+	}
+	return best
+}
+
+// TestWFQFairnessProperty is the model-based fairness check: with every
+// tenant continuously backlogged, the service each receives over any
+// window of W consecutive grants stays within epsilon of its weight
+// share, for randomized weights and payload sizes (fixed seed).
+func TestWFQFairnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		a := NewArbiter(Config{})
+		weights := make([]float64, n)
+		var wsum float64
+		for i := range weights {
+			weights[i] = float64(1 + rng.Intn(8))
+			wsum += weights[i]
+			a.AddTenant("t", TenantConfig{Weight: weights[i]})
+		}
+		size := 4096 << rng.Intn(3) // uniform per trial: 4k/8k/16k
+		pending := make([]int, n)
+		for i := range pending {
+			pending[i] = size
+		}
+		const grants = 4000
+		const window = 500
+		served := make([][]int, 0, grants)
+		counts := make([]int, n)
+		for g := 0; g < grants; g++ {
+			i := admitOne(a, pending, 0)
+			if i < 0 {
+				t.Fatal("no tenant admitted while all backlogged")
+			}
+			counts[i]++
+			row := make([]int, n)
+			row[i] = 1
+			served = append(served, row)
+		}
+		// Sliding-window service share vs weight share.
+		win := make([]int, n)
+		for g := 0; g < grants; g++ {
+			for i := range win {
+				win[i] += served[g][i]
+			}
+			if g >= window {
+				for i := range win {
+					win[i] -= served[g-window][i]
+				}
+			}
+			if g < window-1 {
+				continue
+			}
+			for i := range win {
+				share := float64(win[i]) / window
+				want := weights[i] / wsum
+				// epsilon: one command granularity per tenant per window
+				// plus 5% slack.
+				eps := 0.05 + float64(n)/window
+				if math.Abs(share-want) > eps {
+					t.Fatalf("trial %d grant %d tenant %d: share %.3f, want %.3f±%.3f (weights %v)",
+						trial, g, i, share, want, eps, weights)
+				}
+			}
+		}
+		for i, c := range counts {
+			t.Logf("trial %d tenant %d: weight %.0f served %d", trial, i, weights[i], c)
+		}
+	}
+}
+
+// TestWFQLateJoiner checks a tenant joining mid-run gets its share going
+// forward but no catch-up credit for its absence.
+func TestWFQLateJoiner(t *testing.T) {
+	a := NewArbiter(Config{})
+	a.AddTenant("a", TenantConfig{Weight: 1})
+	pending := []int{4096}
+	for g := 0; g < 1000; g++ {
+		admitOne(a, pending, 0)
+	}
+	b := a.AddTenant("b", TenantConfig{Weight: 1})
+	pending = []int{4096, 4096}
+	for g := 0; g < 1000; g++ {
+		admitOne(a, pending, 0)
+	}
+	// b should have roughly half of the second phase, not three quarters
+	// of everything.
+	if b.Admitted < 400 || b.Admitted > 600 {
+		t.Fatalf("late joiner served %d of 1000, want ~500", b.Admitted)
+	}
+}
+
+func TestTokenBucketBackpressure(t *testing.T) {
+	a := NewArbiter(Config{})
+	lim := a.AddTenant("lim", TenantConfig{IOPS: 1000, BurstOps: 1})
+	free := a.AddTenant("free", TenantConfig{})
+	pending := []int{512, 512}
+	// 10k admission rounds over 10ms of sim time: the limited tenant can
+	// admit at most burst + rate*t = 1 + 10 commands; the free tenant
+	// absorbs the rest.
+	for i := 0; i < 10000; i++ {
+		now := sim.Time(i * 1000) // 1us per round
+		admitOne(a, pending, now)
+	}
+	if lim.Admitted > 12 {
+		t.Fatalf("limited tenant admitted %d, want <= 12", lim.Admitted)
+	}
+	if lim.Throttled == 0 {
+		t.Fatal("throttle counter never incremented")
+	}
+	if free.Admitted < 9000 {
+		t.Fatalf("free tenant admitted %d, want the remainder", free.Admitted)
+	}
+}
+
+func TestClassChargeShiftsShare(t *testing.T) {
+	// Two equal-weight tenants; one's commands are tagged scavenger after
+	// admission. Its effective share must drop by the class multiplier.
+	a := NewArbiter(Config{})
+	norm := a.AddTenant("norm", TenantConfig{Weight: 1})
+	scav := a.AddTenant("scav", TenantConfig{Weight: 1})
+	pending := []int{4096, 4096}
+	for g := 0; g < 3000; g++ {
+		i := admitOne(a, pending, 0)
+		if a.Tenants()[i] == scav {
+			a.ChargeClass(scav, 1, ClassScavenger)
+		} else {
+			a.ChargeClass(norm, 1, ClassDefault)
+		}
+	}
+	// Scavenger multiplier is 8: expect roughly a 1:8 split.
+	ratio := float64(norm.Admitted) / float64(scav.Admitted)
+	if ratio < 6 || ratio > 10 {
+		t.Fatalf("norm:scav = %d:%d (ratio %.1f), want ~8", norm.Admitted, scav.Admitted, ratio)
+	}
+	if scav.PerClass[ClassScavenger] != scav.Admitted {
+		t.Fatal("per-class counter mismatch")
+	}
+}
+
+func TestAdmissionControllerShedsAndRecovers(t *testing.T) {
+	cfg := Config{Window: sim.Millisecond, RecoverWindows: 2}
+	a := NewArbiter(cfg)
+	slo := a.AddTenant("slo", TenantConfig{SLOTargetP99: 100 * sim.Microsecond})
+	be := a.AddTenant("be", TenantConfig{BestEffort: true})
+
+	now := sim.Time(0)
+	a.Tick(now) // arms windows
+	// Window 1: SLO tenant misses badly.
+	for i := 0; i < 100; i++ {
+		a.ObserveLatency(slo, 5*sim.Millisecond)
+	}
+	now += sim.Time(sim.Millisecond)
+	a.Tick(now)
+	if !be.Shed() || !a.Overloaded() {
+		t.Fatal("best-effort tenant not shed after SLO miss")
+	}
+	if slo.Shed() {
+		t.Fatal("SLO tenant must never be shed")
+	}
+	// Shed tenants are ineligible and count deferrals.
+	if a.Eligible(be, 512, now) {
+		t.Fatal("shed tenant still eligible")
+	}
+	if be.Deferred != 1 {
+		t.Fatalf("deferred = %d, want 1", be.Deferred)
+	}
+	// Two clean windows: restored.
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 100; i++ {
+			a.ObserveLatency(slo, 10*sim.Microsecond)
+		}
+		now += sim.Time(sim.Millisecond)
+		a.Tick(now)
+	}
+	if be.Shed() || a.Overloaded() {
+		t.Fatal("best-effort tenant not restored after clean windows")
+	}
+	if a.Sheds != 1 || a.Restores != 1 {
+		t.Fatalf("sheds=%d restores=%d, want 1/1", a.Sheds, a.Restores)
+	}
+}
+
+func TestSnapshotAndCollect(t *testing.T) {
+	a := NewArbiter(Config{})
+	v := a.AddTenant("v", TenantConfig{Weight: 3, IOPS: 1000, SLOTargetP99: sim.Millisecond})
+	a.AddTenant("b", TenantConfig{BestEffort: true})
+	a.Serve(v, 8192, 0)
+	a.ChargeClass(v, 2, ClassLatency)
+	a.ObserveLatency(v, 50*sim.Microsecond)
+
+	snaps := a.Snapshot(0)
+	if len(snaps) != 2 || snaps[0].Name != "v" || snaps[1].Name != "b" {
+		t.Fatalf("snapshot order wrong: %+v", snaps)
+	}
+	s := snaps[0]
+	if s.Weight != 3 || s.Admitted != 1 || s.PerClass[ClassLatency] != 1 {
+		t.Fatalf("snapshot fields wrong: %+v", s)
+	}
+	if s.OpsLevel >= 1 {
+		t.Fatalf("ops bucket should have drained: %.3f", s.OpsLevel)
+	}
+	if s.Attainment() != 1 {
+		t.Fatalf("attainment with no windows = %.2f, want 1", s.Attainment())
+	}
+
+	cs := &metrics.CounterSet{}
+	a.Collect(cs)
+	if cs.Get("qos_v_admitted") != 1 || cs.Get("qos_v_class_latency") != 1 {
+		t.Fatalf("collect wrong: %v", cs)
+	}
+	// Determinism: an identical arbiter collects an equal set.
+	a2 := NewArbiter(Config{})
+	v2 := a2.AddTenant("v", TenantConfig{Weight: 3, IOPS: 1000, SLOTargetP99: sim.Millisecond})
+	a2.AddTenant("b", TenantConfig{BestEffort: true})
+	a2.Serve(v2, 8192, 0)
+	a2.ChargeClass(v2, 2, ClassLatency)
+	cs2 := &metrics.CounterSet{}
+	a2.Collect(cs2)
+	if !cs.Equal(cs2) {
+		t.Fatalf("same-sequence collects differ:\n%v\n%v", cs, cs2)
+	}
+}
+
+// BenchmarkArbiterAdmit measures the uncontended hot path the router pays
+// per admitted command: one Eligible check plus one Serve on a single
+// unlimited tenant. The tentpole budget is ~50 ns/op.
+func BenchmarkArbiterAdmit(b *testing.B) {
+	a := NewArbiter(Config{})
+	t := a.AddTenant("t", TenantConfig{Weight: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if a.Eligible(t, 4096, sim.Time(i)) {
+			a.Serve(t, 4096, sim.Time(i))
+		}
+	}
+}
+
+// BenchmarkArbiterScan8 measures a full arbitration round over 8
+// backlogged tenants with token buckets attached.
+func BenchmarkArbiterScan8(b *testing.B) {
+	a := NewArbiter(Config{})
+	pending := make([]int, 8)
+	for i := range pending {
+		a.AddTenant("t", TenantConfig{Weight: float64(1 + i), IOPS: 1e9})
+		pending[i] = 4096
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		admitOne(a, pending, sim.Time(i))
+	}
+}

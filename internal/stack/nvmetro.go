@@ -5,6 +5,7 @@ import (
 	"nvmetro/internal/core"
 	"nvmetro/internal/device"
 	"nvmetro/internal/nvmeof"
+	"nvmetro/internal/qos"
 	"nvmetro/internal/sgx"
 	"nvmetro/internal/sim"
 	"nvmetro/internal/storfn"
@@ -29,6 +30,7 @@ type NVMetro struct {
 	name     string
 	byVM     map[*vm.VM]*core.Controller
 	byCacher map[*core.Controller]*storfn.Cacher
+	qosCfg   *qos.Config
 }
 
 // NewNVMetro creates the basic configuration.
@@ -52,10 +54,46 @@ func (s *NVMetro) router() *core.Router {
 				threads = append(threads, s.h.HostThread("router"))
 			}
 			s.shared = core.NewRouter(s.h.Env, s.h.Params.Router, threads)
+			if s.qosCfg != nil {
+				s.shared.EnableQoS(*s.qosCfg)
+			}
 		}
 		return s.shared
 	}
-	return core.NewRouter(s.h.Env, s.h.Params.Router, []*sim.Thread{s.h.HostThread("router")})
+	r := core.NewRouter(s.h.Env, s.h.Params.Router, []*sim.Thread{s.h.HostThread("router")})
+	if s.qosCfg != nil {
+		r.EnableQoS(*s.qosCfg)
+	}
+	return r
+}
+
+// WithQoS enables the WFQ arbiter on the router(s) this solution creates.
+// VMs register as tenants with a default contract at Provision time; SetQoS
+// installs per-VM contracts afterwards. Cross-tenant arbitration only takes
+// effect in the shared-worker configuration, where one router sees every
+// VM; in the router-per-VM setup only the per-tenant rate limits and SLO
+// tracking apply.
+func (s *NVMetro) WithQoS(cfg qos.Config) *NVMetro {
+	s.qosCfg = &cfg
+	return s
+}
+
+// SetQoS replaces the QoS contract of an already-provisioned VM.
+func (s *NVMetro) SetQoS(v *vm.VM, tc qos.TenantConfig) {
+	vc := s.byVM[v]
+	if vc == nil {
+		panic("stack: SetQoS before Provision")
+	}
+	vc.SetQoS(tc)
+}
+
+// QoSArbiter returns the shared router's arbiter for inspection (nil
+// unless WithQoS was configured and a shared router exists).
+func (s *NVMetro) QoSArbiter() *qos.Arbiter {
+	if s.shared == nil {
+		return nil
+	}
+	return s.shared.QoS()
 }
 
 // framework lazily creates the (single-process, multi-VM) UIF framework.

@@ -78,3 +78,68 @@ func init() {
 
 // classifierExtra holds classifiers registered outside the core trio.
 var classifierExtra = map[string]string{}
+
+// qosClassSrc is the class-tagging partition classifier: the same
+// sandboxed policy that mediates and translates LBAs also tags each
+// command's QoS scheduling class, looked up per opcode in the class
+// policy map and installed via the qos_set_class helper. This is the
+// "policy in the program" integration the tentpole asks for — the
+// fast/kernel/notify decision and the scheduling priority come from one
+// verified program, and the control plane retunes priorities by writing
+// the map, with no reload.
+const qosClassSrc = `
+; class-tagging partition classifier
+	mov   r9, r1
+	mov   r2, 0
+	stxw  [r10-4], r2
+	ldmap r1, cfg
+	mov   r2, r10
+	add   r2, -4
+	call  map_lookup_elem
+	jeq   r0, 0, internal
+	ldxdw r6, [r0+0]        ; partition start
+	ldxdw r7, [r0+8]        ; partition blocks
+	ldxb  r8, [r9+32]       ; opcode
+; tag the scheduling class for this opcode
+	stxw  [r10-4], r8
+	ldmap r1, class
+	mov   r2, r10
+	add   r2, -4
+	call  map_lookup_elem
+	jeq   r0, 0, tagged     ; no policy entry: default class
+	ldxb  r1, [r0+0]
+	call  qos_set_class
+tagged:
+	jeq   r8, 0, passthru   ; flush carries no LBA
+	ldxdw r4, [r9+72]       ; slba
+	ldxw  r5, [r9+80]
+	and   r5, 0xffff
+	add   r5, 1             ; nblocks
+	add   r5, r4
+	jgt   r5, r7, oob
+	add   r4, r6
+	stxdw [r9+72], r4       ; translate LBA
+passthru:
+	mov   r0, 0x410000      ; SEND_HQ | WILL_COMPLETE_HQ
+	exit
+oob:
+	mov   r0, 0x2000080
+	exit
+internal:
+	mov   r0, 0x2000006
+	exit
+`
+
+// QoSClassClassifier returns the class-tagging partition classifier plus
+// its live maps: the partition config and the per-opcode class policy map
+// (see core.NewQoSClassMap / core.SetOpcodeClass).
+func QoSClassClassifier(part device.Partition) (*ebpf.Program, *ebpf.ArrayMap, *ebpf.ArrayMap) {
+	cfg := core.NewPartitionConfigMap(part)
+	class := core.NewQoSClassMap()
+	prog := ebpf.MustAssemble(qosClassSrc, "qosclass", map[string]ebpf.Map{"cfg": cfg, "class": class}, nil)
+	return prog, cfg, class
+}
+
+func init() {
+	classifierExtra["qosclass"] = qosClassSrc
+}

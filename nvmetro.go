@@ -24,6 +24,7 @@ import (
 	"nvmetro/internal/ebpf"
 	"nvmetro/internal/fio"
 	"nvmetro/internal/harness"
+	"nvmetro/internal/qos"
 	"nvmetro/internal/sim"
 	"nvmetro/internal/stack"
 	"nvmetro/internal/storfn"
@@ -72,6 +73,18 @@ type (
 	FIOResult = fio.Result
 	// FIOTarget places one fio job.
 	FIOTarget = fio.Target
+	// FIOGroup pairs targets with their own workload for mixed runs.
+	FIOGroup = fio.Group
+
+	// QoSConfig tunes the router's WFQ arbiter.
+	QoSConfig = qos.Config
+	// QoSTenantConfig is one tenant's contract (weight, rate caps, SLO).
+	QoSTenantConfig = qos.TenantConfig
+	// QoSTenantSnapshot is a point-in-time view of one tenant's QoS state.
+	QoSTenantSnapshot = qos.TenantSnapshot
+	// SharedNVMetro is the shared-worker NVMetro solution handle, used for
+	// multi-tenant setups (QoS arbitration, Fig. 5 scaling).
+	SharedNVMetro = stack.NVMetro
 )
 
 // Convenient duration units (virtual time).
@@ -254,10 +267,31 @@ func (s *System) AttachBaseline(name string, v *VM, part Partition) (*AttachedDi
 	return &AttachedDisk{VM: v, Disk: sol.Provision(v, part)}, nil
 }
 
+// NewNVMetroShared creates a shared-worker NVMetro solution: one router
+// with the given worker count serving every VM provisioned through it. Use
+// AttachShared to provision disks, and WithQoS on the returned handle to
+// arbitrate the shared worker between tenants.
+func (s *System) NewNVMetroShared(workers int) *SharedNVMetro {
+	return stack.NewNVMetroShared(s.Host, workers)
+}
+
+// AttachShared provisions an NVMetro disk for v on the given shared
+// solution.
+func (s *System) AttachShared(sol *SharedNVMetro, v *VM, part Partition) *AttachedDisk {
+	disk := sol.Provision(v, part)
+	return &AttachedDisk{VM: v, Disk: disk, Ctrl: sol.ControllerFor(v)}
+}
+
 // RunFIO executes a fio-equivalent workload and returns its results. It
 // drives the simulation itself; call from normal (non-process) context.
 func (s *System) RunFIO(cfg FIOConfig, targets []FIOTarget) FIOResult {
 	return fio.Run(s.Env, s.Host.CPU, targets, cfg)
+}
+
+// RunFIOMixed executes several differently-configured workload groups
+// concurrently over one shared measurement window (see fio.RunMixed).
+func (s *System) RunFIOMixed(groups []FIOGroup) []FIOResult {
+	return fio.RunMixed(s.Env, s.Host.CPU, groups)
 }
 
 // Run executes fn as a simulated guest program and drives the simulation
