@@ -81,6 +81,7 @@ func (w *worker) gatherQoS(effects *[]func(), work *sim.Duration) (admitted, bac
 	now := w.r.env.Now()
 	q.Tick(now)
 	var cmd nvme.Command
+	firstScan := true
 	for admitted < qosAdmitBatch {
 		var best *vqState
 		var bestCmd nvme.Command
@@ -91,7 +92,15 @@ func (w *worker) gatherQoS(effects *[]func(), work *sim.Duration) (admitted, bac
 					continue
 				}
 				nb := cmdBytes(vq, &cmd)
-				if !q.Eligible(vc.tenant, nb, now) {
+				// Only the round's first scan feeds the Throttled/Deferred
+				// counters: later scans revisit the same heads, and counting
+				// them again would tally scan attempts, not deferred
+				// commands.
+				if firstScan {
+					if !q.Eligible(vc.tenant, nb, now) {
+						continue
+					}
+				} else if !q.Admissible(vc.tenant, nb, now) {
 					continue
 				}
 				if best == nil || q.Before(vc.tenant, best.vc.tenant) {
@@ -99,6 +108,7 @@ func (w *worker) gatherQoS(effects *[]func(), work *sim.Duration) (admitted, bac
 				}
 			}
 		}
+		firstScan = false
 		if best == nil {
 			break
 		}

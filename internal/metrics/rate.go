@@ -1,6 +1,9 @@
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Rate is a windowed EWMA rate gauge: events are accumulated into fixed
 // windows of the configured width, and at every window rollover the
@@ -44,12 +47,20 @@ func (r *Rate) roll(now int64) {
 		}
 		return
 	}
-	for now-r.winStart >= r.window {
-		r.ewma = r.alpha*r.winCount + (1-r.alpha)*r.ewma
-		r.windows++
-		r.winCount = 0
-		r.winStart += r.window
+	k := (now - r.winStart) / r.window
+	if k <= 0 {
+		return
 	}
+	// Fold the current window, then apply the decay of the remaining k-1
+	// empty windows in closed form — a long idle gap must not cost one
+	// loop turn per elapsed window on the caller's hot path.
+	r.ewma = r.alpha*r.winCount + (1-r.alpha)*r.ewma
+	if k > 1 {
+		r.ewma *= math.Pow(1-r.alpha, float64(k-1))
+	}
+	r.winCount = 0
+	r.windows += uint64(k)
+	r.winStart += k * r.window
 }
 
 // Observe records n events at time now (nanoseconds, monotonic).

@@ -34,6 +34,24 @@ func TestRateDecaysWhenIdle(t *testing.T) {
 	}
 }
 
+func TestRateLongIdleGapClosedForm(t *testing.T) {
+	r := NewRate(1e6, 0.5)
+	r.Observe(100, 0)
+	// One busy window then k-1 empty windows: ewma must equal the closed
+	// form alpha*count*(1-alpha)^(k-1), including across an hour-long gap
+	// (3.6M skipped 1ms windows) that must not iterate per window.
+	r.Observe(0, 10*1e6) // roll 10 windows
+	want := 0.5 * 100 * math.Pow(0.5, 9)
+	if got := r.ewma; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ewma after 10 windows = %v, want %v", got, want)
+	}
+	if got := r.PerSec(3600 * 1e9); got != 0 {
+		// 0.5^3.6M underflows to exactly 0; the call must also return
+		// promptly (the old per-window loop took millions of iterations).
+		t.Fatalf("rate after 1h idle = %v, want 0", got)
+	}
+}
+
 func TestRateLeadingIdleDoesNotSkew(t *testing.T) {
 	r := NewRate(1e6, 0.5)
 	// First observation far from t=0: the empty leading windows must not

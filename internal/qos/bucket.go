@@ -37,23 +37,37 @@ func (b *Bucket) refill(now sim.Time) {
 	b.last = now
 }
 
+// need clamps a charge to the bucket's capacity for admission checks: a
+// charge above burst can never accumulate, so such a command is
+// admissible whenever the bucket is full. Take still debits the full
+// amount, driving the balance negative; the deficit is repaid at the
+// refill rate, so oversized commands are paced at the contracted rate
+// instead of stalling forever (backpressure stays lossless and live).
+func (b *Bucket) need(n float64) float64 {
+	if n > b.burst {
+		return b.burst
+	}
+	return n
+}
+
 // Has reports whether n tokens are available at now without consuming.
 func (b *Bucket) Has(n float64, now sim.Time) bool {
 	if !b.Limited() {
 		return true
 	}
 	b.refill(now)
-	return b.tokens >= n
+	return b.tokens >= b.need(n)
 }
 
 // Take consumes n tokens, reporting false (and consuming nothing) when
-// fewer are available.
+// fewer than the capacity-clamped charge are available. A granted
+// oversized charge leaves the balance negative (see need).
 func (b *Bucket) Take(n float64, now sim.Time) bool {
 	if !b.Limited() {
 		return true
 	}
 	b.refill(now)
-	if b.tokens < n {
+	if b.tokens < b.need(n) {
 		return false
 	}
 	b.tokens -= n
@@ -61,11 +75,15 @@ func (b *Bucket) Take(n float64, now sim.Time) bool {
 }
 
 // Level returns the current fill fraction in [0, 1] (1 for unlimited
-// buckets — an unenforced bucket is never the bottleneck).
+// buckets — an unenforced bucket is never the bottleneck; 0 while a
+// deficit from an oversized charge is being repaid).
 func (b *Bucket) Level(now sim.Time) float64 {
 	if !b.Limited() || b.burst <= 0 {
 		return 1
 	}
 	b.refill(now)
+	if b.tokens <= 0 {
+		return 0
+	}
 	return b.tokens / b.burst
 }

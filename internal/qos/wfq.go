@@ -109,7 +109,10 @@ func (a *Arbiter) cost(bytes int) float64 {
 // Eligible reports whether tenant t may admit a command of the given
 // payload size at now: it must not be shed by the admission controller,
 // and both token buckets must cover the command. Ineligibility updates
-// the tenant's Throttled/Deferred counters so backpressure is visible.
+// the tenant's Throttled/Deferred counters so backpressure is visible;
+// callers that rescan the same queue head within one poll round should
+// use Admissible on the rescans so each deferred command counts once per
+// round, not once per scan.
 func (a *Arbiter) Eligible(t *Tenant, bytes int, now sim.Time) bool {
 	if t.shed {
 		t.Deferred++
@@ -120,6 +123,12 @@ func (a *Arbiter) Eligible(t *Tenant, bytes int, now sim.Time) bool {
 		return false
 	}
 	return true
+}
+
+// Admissible is Eligible without the counter side effects, for repeated
+// scans of a queue head already counted this poll round.
+func (a *Arbiter) Admissible(t *Tenant, bytes int, now sim.Time) bool {
+	return !t.shed && t.ops.Has(1, now) && t.bytes.Has(float64(bytes), now)
 }
 
 // start returns t's virtual start tag for its next command.

@@ -72,9 +72,18 @@ func (s *NVMetro) router() *core.Router {
 // installs per-VM contracts afterwards. Cross-tenant arbitration only takes
 // effect in the shared-worker configuration, where one router sees every
 // VM; in the router-per-VM setup only the per-tenant rate limits and SLO
-// tracking apply.
+// tracking apply. Calling WithQoS after VMs are provisioned enables the
+// arbiter on the already-created routers too (their attached VMs register
+// as tenants immediately); EnableQoS keeps the first config if one was
+// already installed.
 func (s *NVMetro) WithQoS(cfg qos.Config) *NVMetro {
 	s.qosCfg = &cfg
+	if s.shared != nil {
+		s.shared.EnableQoS(cfg)
+	}
+	for _, vc := range s.byVM {
+		vc.Router().EnableQoS(cfg)
+	}
 	return s
 }
 

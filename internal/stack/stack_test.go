@@ -7,6 +7,7 @@ import (
 	"nvmetro/internal/device"
 	"nvmetro/internal/fio"
 	"nvmetro/internal/nvme"
+	"nvmetro/internal/qos"
 	"nvmetro/internal/sim"
 	"nvmetro/internal/stack"
 	"nvmetro/internal/vm"
@@ -218,6 +219,51 @@ func TestNVMetroScalabilityWithSharedWorker(t *testing.T) {
 	if four < one*1.5 {
 		t.Errorf("throughput must scale with VM count (1 VM %.0f, 4 VMs %.0f)", one, four)
 	}
+}
+
+// TestWithQoSAfterProvision is the regression for WithQoS called after a
+// router already exists: the arbiter must be enabled on the live router —
+// not silently dropped — with already-provisioned VMs registered as
+// tenants, so a later SetQoS works in either configuration.
+func TestWithQoSAfterProvision(t *testing.T) {
+	p := stack.DefaultParams()
+	p.Device.JitterPct, p.Device.TailProb = 0, 0
+
+	// Shared-worker configuration.
+	env := sim.New(1)
+	defer env.Close()
+	h := stack.NewHost(env, 12, 4, p, device.NullStore{})
+	sol := stack.NewNVMetroShared(h, 1)
+	parts := device.Carve(h.Dev, 1, 2)
+	v1 := h.NewVM(1, 16<<20)
+	sol.Provision(v1, parts[0])
+	sol.WithQoS(qos.Config{})
+	if sol.QoSArbiter() == nil {
+		t.Fatal("WithQoS after Provision left the shared router without an arbiter")
+	}
+	if n := len(sol.QoSArbiter().Tenants()); n != 1 {
+		t.Fatalf("tenants = %d, want 1 (already-provisioned VM must register)", n)
+	}
+	sol.SetQoS(v1, qos.TenantConfig{Weight: 2}) // must not panic
+	v2 := h.NewVM(1, 16<<20)
+	sol.Provision(v2, parts[1])
+	if n := len(sol.QoSArbiter().Tenants()); n != 2 {
+		t.Fatalf("tenants = %d, want 2 after provisioning another VM", n)
+	}
+
+	// Router-per-VM configuration: the late WithQoS reaches the routers
+	// already created for provisioned VMs through their controllers.
+	env2 := sim.New(1)
+	defer env2.Close()
+	h2 := stack.NewHost(env2, 12, 4, p, device.NullStore{})
+	solo := stack.NewNVMetro(h2)
+	v3 := h2.NewVM(1, 16<<20)
+	solo.Provision(v3, device.WholeNamespace(h2.Dev, 1))
+	solo.WithQoS(qos.Config{})
+	if solo.ControllerFor(v3).Tenant() == nil {
+		t.Fatal("per-VM router tenant not registered by late WithQoS")
+	}
+	solo.SetQoS(v3, qos.TenantConfig{IOPS: 1000}) // must not panic
 }
 
 // TestEncryptedStacksAgree writes with NVMetro encryption and reads back
