@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test fmt bench bench-smoke
+.PHONY: check build vet test fmt bench bench-smoke chaos-smoke
 
-# check is the CI gate: build, vet, race-enabled tests, and gofmt
-# cleanliness (fails listing the offending files).
-check: build vet test fmt
+# check is the CI gate: build, vet, race-enabled tests, gofmt cleanliness
+# (fails listing the offending files) and the short-seed chaos suite.
+check: build vet test fmt chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,11 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkClassifierSuite' -benchtime 1x ./internal/storfn/
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterHop' -benchtime 1x ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkArbiter' -benchtime 1x ./internal/qos/
+
+# chaos-smoke runs the UIF supervision suite under the race detector: the
+# watchdog/reconcile unit tests, the per-function crash/wedge recovery
+# tests and the short-seed end-to-end chaos experiment.
+chaos-smoke:
+	$(GO) test -race -run 'TestWatchdog|TestBackoff|TestHealthy|TestClassifierHotSwap' ./internal/supervise/ ./internal/nvmeof/
+	$(GO) test -race -run 'TestSupervised' ./internal/storfn/
+	$(GO) test -race -run 'TestChaos' ./internal/harness/

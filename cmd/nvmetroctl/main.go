@@ -9,11 +9,17 @@
 //	nvmetroctl -function replication
 //	nvmetroctl -function none -mode randwrite
 //	nvmetroctl qos [-vms 3] [-duration 20ms]
+//	nvmetroctl chaos [-function encryption] [-fault crash] [-duration 20ms]
 //
 // The qos subcommand brings up multiple tenants with different QoS
 // contracts on one shared router worker, drives a contended workload and
 // dumps the arbiter state: per-tenant weights, token-bucket levels and SLO
 // attainment.
+//
+// The chaos subcommand runs a storage function under UIF supervision,
+// injects a crash or wedge into its UIF mid-workload and dumps the
+// supervisor's view: detection, reconciliation verdicts, degraded time and
+// restarts, plus the fault injector's fire counts.
 package main
 
 import (
@@ -29,6 +35,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "qos" {
 		qosCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		chaosCmd(os.Args[2:])
 		return
 	}
 	var (
@@ -113,6 +123,85 @@ func main() {
 	if res.Errors > 0 {
 		fmt.Printf("I/O errors: %d\n", res.Errors)
 		os.Exit(1)
+	}
+}
+
+// chaosCmd is the `nvmetroctl chaos` subcommand: run one supervised
+// storage function, kill or wedge its UIF mid-workload, report recovery.
+func chaosCmd(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	var (
+		function = fs.String("function", "encryption", "supervised storage function: encryption | cache | replication")
+		kind     = fs.String("fault", "crash", "injected UIF fault: crash | wedge")
+		dur      = fs.Duration("duration", 20*time.Millisecond, "virtual measurement window")
+		qd       = fs.Int("qd", 8, "queue depth")
+		seed     = fs.Int64("seed", 1, "simulation + fault-plan seed")
+	)
+	fs.Parse(args)
+
+	cfg := nvmetro.Defaults()
+	cfg.Seed = *seed
+	sys := nvmetro.NewSystem(cfg)
+	defer sys.Close()
+
+	pol := nvmetro.DefaultSupervisePolicy()
+	pol.Seed = *seed
+	v := sys.NewVM(1, 32<<20)
+	part := sys.WholeDisk()
+	var (
+		disk *nvmetro.AttachedDisk
+		sup  *nvmetro.Supervisor
+		site string
+	)
+	switch *function {
+	case "encryption":
+		disk, sup = sys.AttachEncryptedSupervised(v, part, bytes.Repeat([]byte{0x42}, 64), pol)
+		site = "uif-encryptor"
+	case "cache":
+		disk, sup = sys.AttachCachedSupervised(v, part, nvmetro.DefaultCacheParams(), pol)
+		site = "uif-cacher"
+	case "replication":
+		disk, sup = sys.AttachReplicatedSupervised(v, part, sys.NewRemoteHost(4), pol)
+		site = "uif-replicator"
+	default:
+		fmt.Fprintf(os.Stderr, "unknown function %q\n", *function)
+		os.Exit(2)
+	}
+
+	plan := nvmetro.NewFaultPlan(*seed)
+	switch *kind {
+	case "crash":
+		plan.WithUIFCrash(0.002, 1)
+	case "wedge":
+		plan.WithUIFWedge(0.002, 1, 2*nvmetro.Millisecond)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fault %q\n", *kind)
+		os.Exit(2)
+	}
+	inj := plan.Injector(site)
+	sup.SetFaultInjector(inj)
+
+	fmt.Printf("host: %d cores, %s UIF under supervision, injecting a %s mid-workload\n",
+		cfg.Cores, *function, *kind)
+	fc := nvmetro.FIOConfig{
+		Mode: nvmetro.RandRW, BlockSize: 4096, QD: *qd,
+		Warmup: 2 * nvmetro.Millisecond, Duration: nvmetro.Duration(dur.Nanoseconds()),
+		WorkSet: 4 << 20, Zipf: 1.2,
+	}
+	res := sys.RunFIO(fc, disk.Targets(1))
+	fmt.Printf("\nresults: %.1f kIOPS, p50=%.1fus p99=%.1fus, guest errors=%d\n",
+		res.KIOPS(), float64(res.Lat.Median())/1e3, float64(res.Lat.P99())/1e3, res.Errors)
+
+	fmt.Printf("\nsupervisor: %s\n", sup)
+	var cs nvmetro.CounterSet
+	sup.Collect(&cs)
+	inj.Collect(&cs)
+	fmt.Println("counters:")
+	for _, name := range cs.Names() {
+		fmt.Printf("  %-32s %d\n", name, cs.Get(name))
+	}
+	if sup.Detections == 0 {
+		fmt.Println("\nno fault fired inside the window; try a longer -duration")
 	}
 }
 

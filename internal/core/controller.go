@@ -161,7 +161,7 @@ type Controller struct {
 	vqs      []*vqState
 	nextQID  uint16
 	nq       *NotifyQueues
-	ntags    map[uint16]hop
+	ntags    map[uint16]ntagEntry
 	nextNTag uint16
 	kt       KernelTarget
 
@@ -183,7 +183,7 @@ func (r *Router) Attach(v *vm.VM, part device.Partition) *Controller {
 		part:     part,
 		restrict: true,
 		cvm:      ebpf.NewVM(nil),
-		ntags:    make(map[uint16]hop),
+		ntags:    make(map[uint16]ntagEntry),
 	}
 	if err := vc.LoadClassifier(DefaultClassifier()); err != nil {
 		panic(fmt.Sprintf("core: default classifier rejected: %v", err))
@@ -533,7 +533,7 @@ func (w *worker) dispatchNQ(h hop) {
 	}
 	vc.nextNTag++
 	tag := vc.nextNTag
-	vc.ntags[tag] = h
+	vc.ntags[tag] = ntagEntry{h: h, at: w.r.env.Now()}
 	cmd := req.cmd
 	cmd.SetCID(tag)
 	if !vc.nq.nsq.Push(&cmd) {
@@ -546,11 +546,37 @@ func (w *worker) dispatchNQ(h hop) {
 	vc.nq.notify()
 }
 
+// ntagEntry is one in-flight notify-path hop, timestamped at dispatch so
+// the supervision watchdog can enforce NSQ residency deadlines.
+type ntagEntry struct {
+	h  hop
+	at sim.Time
+}
+
 // takeNTag claims the hop for a notify completion tag.
 func (vc *Controller) takeNTag(tag uint16) (hop, bool) {
-	h, ok := vc.ntags[tag]
+	ent, ok := vc.ntags[tag]
 	delete(vc.ntags, tag)
-	return h, ok
+	return ent.h, ok
+}
+
+// NotifyInFlight returns the number of notify-path hops dispatched and not
+// yet completed — commands resident in the NSQ or being serviced by the
+// attached UIF. Watchdog-side API.
+func (vc *Controller) NotifyInFlight() int { return len(vc.ntags) }
+
+// OldestNotifyAge returns how long the oldest in-flight notify-path hop
+// has been outstanding at now (0 when none are in flight). Watchdog-side
+// API: a healthy UIF bounds this by its service time, so an age beyond
+// the residency deadline means the commands are stranded.
+func (vc *Controller) OldestNotifyAge(now sim.Time) sim.Duration {
+	var oldest sim.Duration
+	for _, ent := range vc.ntags {
+		if age := now.Sub(ent.at); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
 }
 
 // dispatchKQ sends the request down the host kernel block layer.

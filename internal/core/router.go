@@ -81,6 +81,8 @@ type Router struct {
 	HTagsReclaimed   uint64 // quarantined host tags recycled without a completion
 	Backpressure     uint64 // dispatches deferred because a queue was full
 	BadQIDs          uint64 // guest operations naming an unknown queue
+	NotifyReconciled uint64 // notify hops completed by supervision reconcile
+	NotifyRequeued   uint64 // notify hops requeued through the classifier
 }
 
 // NewRouter creates a router with one worker per given host thread.
@@ -124,6 +126,7 @@ type worker struct {
 	wake   *sim.Cond
 	vcs    []*Controller
 	kdone  []kdoneEntry
+	posted []func()
 	asleep bool
 }
 
@@ -138,6 +141,15 @@ func (w *worker) hint() {
 		w.asleep = false
 		w.wake.Signal(nil)
 	}
+}
+
+// post queues fn to run as a routing effect on the worker's next
+// iteration — the external-work channel the supervision subsystem uses to
+// run reconciliation in worker context, where completions and retries are
+// flushed in the same round. Safe from any simulation context.
+func (w *worker) post(fn func()) {
+	w.posted = append(w.posted, fn)
+	w.hint()
 }
 
 // run is the worker main loop: a two-phase poll (gather work, charge CPU,
@@ -215,6 +227,16 @@ func (w *worker) run(p *sim.Proc) {
 					effects = append(effects, func() { w.finishHop(h, targetHQ, nvme.SCAbortRequested) })
 				}
 			}
+		}
+
+		// Externally posted work (supervision reconciliation) runs after
+		// the per-controller gather so NCQ completions consumed above
+		// cannot race the reconcile sweep within the round.
+		pd := w.posted
+		w.posted = nil
+		for _, fn := range pd {
+			work += c.PollVQ
+			effects = append(effects, fn)
 		}
 
 		// Arbitrated admission pass: WFQ + token buckets + admission

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"nvmetro/internal/metrics"
 	"nvmetro/internal/nvme"
 	"nvmetro/internal/sim"
 )
@@ -31,6 +32,14 @@ const (
 	DropCompletion
 	// StuckCompletion delays the completion by the rule's Delay.
 	StuckCompletion
+	// UIFCrash kills the userspace I/O function's poll loop: the
+	// attachment stops servicing its notify queues and all in-process
+	// state is lost, as if the UIF process died.
+	UIFCrash
+	// UIFWedge stalls the poll loop for the rule's Delay (0 = forever):
+	// the process is alive but makes no progress — a livelock, an
+	// allocator stall, a runaway GC pause.
+	UIFWedge
 	numKinds
 )
 
@@ -44,6 +53,10 @@ func (k Kind) String() string {
 		return "drop-completion"
 	case StuckCompletion:
 		return "stuck-completion"
+	case UIFCrash:
+		return "uif-crash"
+	case UIFWedge:
+		return "uif-wedge"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -119,6 +132,17 @@ func (p *Plan) WithStuck(rate float64, limit int, delay sim.Duration) *Plan {
 	return p.WithRule(Rule{Kind: StuckCompletion, Rate: rate, Limit: limit, Delay: delay})
 }
 
+// WithUIFCrash adds a UIF poll-loop crash rule.
+func (p *Plan) WithUIFCrash(rate float64, limit int) *Plan {
+	return p.WithRule(Rule{Kind: UIFCrash, Rate: rate, Limit: limit})
+}
+
+// WithUIFWedge adds a UIF poll-loop stall rule holding the loop for delay
+// (0 = wedged until killed).
+func (p *Plan) WithUIFWedge(rate float64, limit int, delay sim.Duration) *Plan {
+	return p.WithRule(Rule{Kind: UIFWedge, Rate: rate, Limit: limit, Delay: delay})
+}
+
 // WithOutage schedules a link outage window.
 func (p *Plan) WithOutage(at sim.Time, dur sim.Duration) *Plan {
 	p.outages = append(p.outages, Outage{At: at, Dur: dur})
@@ -154,13 +178,18 @@ type ruleState struct {
 // Decision is the outcome of one injection query. The zero value means
 // "no fault".
 type Decision struct {
-	Status nvme.Status  // non-OK fails the command with this status
-	Drop   bool         // suppress the completion entirely
-	Delay  sim.Duration // hold the completion this long before posting
+	Status   nvme.Status  // non-OK fails the command with this status
+	Drop     bool         // suppress the completion entirely
+	Delay    sim.Duration // hold the completion this long before posting
+	Crash    bool         // kill the UIF poll loop (state lost)
+	Wedge    bool         // stall the UIF poll loop
+	WedgeFor sim.Duration // stall duration (0 = until killed)
 }
 
 // Faulty reports whether any fault was injected.
-func (d Decision) Faulty() bool { return !d.Status.OK() || d.Drop || d.Delay > 0 }
+func (d Decision) Faulty() bool {
+	return !d.Status.OK() || d.Drop || d.Delay > 0 || d.Crash || d.Wedge
+}
 
 // Injector is per-site fault state: rule fire counts, the site PRNG stream
 // and injection counters. Methods on a nil Injector are no-ops, so layers
@@ -218,6 +247,13 @@ func (inj *Injector) Decide(c Class) Decision {
 			if r.Delay > d.Delay {
 				d.Delay = r.Delay
 			}
+		case UIFCrash:
+			d.Crash = true
+		case UIFWedge:
+			d.Wedge = true
+			if r.Delay > d.WedgeFor {
+				d.WedgeFor = r.Delay
+			}
 		}
 	}
 	return d
@@ -250,4 +286,18 @@ func (inj *Injector) Counters() string {
 	}
 	sort.Strings(kinds)
 	return strings.Join(append(parts, kinds...), " ")
+}
+
+// Collect exports the per-kind fire counts as counters under the
+// "fault.<site>." prefix — the machine-readable sibling of Counters().
+// Every kind is emitted (zeros included) so the schema, and therefore
+// CounterSet ordering, is identical across runs and plans.
+func (inj *Injector) Collect(cs *metrics.CounterSet) {
+	if inj == nil {
+		return
+	}
+	cs.Add("fault."+inj.site+".commands", inj.Commands)
+	for k := Kind(0); k < numKinds; k++ {
+		cs.Add(fmt.Sprintf("fault.%s.%v", inj.site, k), inj.Injected[k])
+	}
 }

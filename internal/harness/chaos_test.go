@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"testing"
+)
+
+// End-to-end acceptance for the supervision subsystem: every storage
+// function under both a mid-workload crash and a wedge must (a) lose no
+// completion — the run drains and no command is misattributed across UIF
+// generations, (b) be detected by the watchdog without self-reporting,
+// (c) reconcile its stranded in-flight commands per its declared policy,
+// (d) keep the victim's tail latency bounded while degraded, and (e)
+// reconverge to baseline throughput after the supervised restart.
+func TestChaosE2E(t *testing.T) {
+	o := Options{Quick: true, Seed: 1}
+	for _, cell := range chaosCells(o) {
+		base := cell.run(nil)
+		if !base.drained {
+			t.Fatalf("%s: healthy baseline did not drain", cell.name)
+		}
+		for _, f := range []struct {
+			kind  string
+			crash bool
+		}{{"crash", true}, {"wedge", false}} {
+			name := cell.name + " " + f.kind
+			cr := cell.run(chaosPlan(o, f.crash))
+			cs := &cr.counters
+			sup := "sup." + cell.name + "."
+			site := "fault.uif-" + cell.name + "."
+
+			// The fault actually fired at the intended site.
+			if cs.Get(site+"uif-crash")+cs.Get(site+"uif-wedge") == 0 {
+				t.Fatalf("%s: plan injected nothing: %s", name, cs.String())
+			}
+			// No lost completions: every accepted guest command completed.
+			if !cr.drained {
+				t.Fatalf("%s: guest commands stuck in flight (lost completions)", name)
+			}
+			// External detection and supervised restart back to routed.
+			if cs.Get(sup+"detections") == 0 {
+				t.Fatalf("%s: watchdog never detected the failure: %s", name, cs.String())
+			}
+			if cs.Get(sup+"restarts") == 0 || !cr.routed {
+				t.Fatalf("%s: function not restarted and promoted (restarts=%d routed=%v)",
+					name, cs.Get(sup+"restarts"), cr.routed)
+			}
+			// Stranded commands were reconciled, not dropped.
+			if cs.Get(sup+"reconciled_ok")+cs.Get(sup+"reconciled_err")+cs.Get(sup+"requeued") == 0 {
+				t.Fatalf("%s: no in-flight commands reconciled: %s", name, cs.String())
+			}
+			// Bounded degradation: victim p99 within 5x of the healthy
+			// same-seed baseline, throughput reconverged after restart.
+			if b := base.res.Lat.P99(); b > 0 && cr.res.Lat.P99() > 5*b {
+				t.Fatalf("%s: degraded p99 unbounded: %d vs baseline %d", name, cr.res.Lat.P99(), b)
+			}
+			if b := base.res.KIOPS(); b > 0 && cr.tail.KIOPS() < 0.7*b {
+				t.Fatalf("%s: post-restart throughput did not reconverge: %.1f vs baseline %.1f",
+					name, cr.tail.KIOPS(), b)
+			}
+			// Only the fail-stop encryptor may surface errors to the guest
+			// (retryable NS-not-ready while degraded); cache and mirror
+			// degradation are transparent.
+			if cell.name != "encryptor" {
+				if cs.Get("fio.errors") != 0 || cs.Get("rt.guest_errors") != 0 {
+					t.Fatalf("%s: guest saw errors despite transparent degradation: fio=%d router=%d",
+						name, cs.Get("fio.errors"), cs.Get("rt.guest_errors"))
+				}
+			}
+			if !chaosOK(cell.name, cr) {
+				t.Fatalf("%s: acceptance invariants failed: %s", name, cs.String())
+			}
+		}
+	}
+}
+
+// The replication chaos cell must converge back to a bit-identical mirror
+// even with the crash layered over fabric outages (resync in progress).
+func TestChaosReplicationMirrorConverges(t *testing.T) {
+	o := Options{Quick: true, Seed: 3}
+	for _, crash := range []bool{true, false} {
+		var cr chaosRun
+		for _, cell := range chaosCells(o) {
+			if cell.name == "replicator" {
+				cr = cell.run(chaosPlan(o, crash))
+			}
+		}
+		if !cr.converged {
+			t.Fatalf("crash=%v: mirror did not drain to InSync: %s", crash, cr.counters.String())
+		}
+		if !cr.mirrorOK {
+			t.Fatalf("crash=%v: primary and secondary stores diverged after convergence", crash)
+		}
+	}
+}
+
+// Same-seed chaos runs must produce identical counter traces: detection
+// times, reconcile decisions, restart backoffs and fault draws are all on
+// the deterministic simulation clock.
+func TestChaosDeterminism(t *testing.T) {
+	o := Options{Quick: true, Seed: 7}
+	run := func(name string, crash bool) chaosRun {
+		for _, cell := range chaosCells(o) {
+			if cell.name == name {
+				return cell.run(chaosPlan(o, crash))
+			}
+		}
+		t.Fatalf("no cell %q", name)
+		return chaosRun{}
+	}
+	for _, name := range []string{"cacher", "replicator"} {
+		a := run(name, true)
+		b := run(name, true)
+		if !a.counters.Equal(&b.counters) {
+			t.Fatalf("%s: same seed produced different chaos traces:\n%s\n%s",
+				name, a.counters.String(), b.counters.String())
+		}
+		if a.res.Ops != b.res.Ops || a.res.Errors != b.res.Errors {
+			t.Fatalf("%s: same seed produced different results: ops %d/%d errors %d/%d",
+				name, a.res.Ops, b.res.Ops, a.res.Errors, b.res.Errors)
+		}
+	}
+}

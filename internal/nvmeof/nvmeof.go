@@ -172,6 +172,13 @@ type InitiatorRecovery struct {
 	Timeout    sim.Duration // per-attempt response deadline
 	MaxRetries int          // resends before the command fails with SCPathError
 	Backoff    sim.Duration // first retry delay; doubles per attempt
+	// BackoffCap bounds the doubled delay (0 = uncapped): without it, deep
+	// retry ladders overshoot the outage end by most of a doubled period.
+	BackoffCap sim.Duration
+	// Jitter spreads each delay by a ± fraction in [0, 1), drawn from the
+	// environment's seeded stream — resends of commands that timed out
+	// together stop hammering the recovered target in one burst.
+	Jitter float64
 }
 
 // DefaultInitiatorRecovery returns a policy tolerant of deep target queues:
@@ -181,6 +188,8 @@ func DefaultInitiatorRecovery() InitiatorRecovery {
 		Timeout:    50 * sim.Millisecond,
 		MaxRetries: 4,
 		Backoff:    100 * sim.Microsecond,
+		BackoffCap: 5 * sim.Millisecond,
+		Jitter:     0.25,
 	}
 }
 
@@ -239,6 +248,12 @@ func (rec InitiatorRecovery) Validate() error {
 	}
 	if rec.Backoff < 0 {
 		return fmt.Errorf("nvmeof: negative Backoff %v", rec.Backoff)
+	}
+	if rec.BackoffCap < 0 {
+		return fmt.Errorf("nvmeof: negative BackoffCap %v", rec.BackoffCap)
+	}
+	if rec.Jitter < 0 || rec.Jitter >= 1 {
+		return fmt.Errorf("nvmeof: Jitter must be in [0,1), got %g", rec.Jitter)
 	}
 	return nil
 }
@@ -342,22 +357,40 @@ func (i *Initiator) unqueue(pe *ofPending) {
 	}
 }
 
-// onTimeout handles a lost attempt: resend with exponential backoff, or
-// fail the command once retries are exhausted.
+// onTimeout handles a lost attempt: resend with capped, jittered
+// exponential backoff, or fail the command once retries are exhausted.
 func (i *Initiator) onTimeout(pe *ofPending) {
 	if pe.attempt > i.rec.MaxRetries {
 		i.Failures++
 		i.finish(pe, nvme.SCPathError, nil)
 		return
 	}
-	backoff := i.rec.Backoff << (pe.attempt - 1)
 	attempt := pe.attempt
-	i.env.After(backoff, func() {
+	i.env.After(i.backoffDelay(attempt), func() {
 		if !pe.fin && pe.attempt == attempt {
 			i.Retries++
 			i.send(pe)
 		}
 	})
+}
+
+// backoffDelay computes the delay before resending attempt+1: Backoff
+// doubled per prior attempt, clamped to BackoffCap, spread by ±Jitter.
+func (i *Initiator) backoffDelay(attempt int) sim.Duration {
+	d := i.rec.Backoff
+	for n := 1; n < attempt; n++ {
+		d *= 2
+		if i.rec.BackoffCap > 0 && d >= i.rec.BackoffCap {
+			break
+		}
+	}
+	if i.rec.BackoffCap > 0 && d > i.rec.BackoffCap {
+		d = i.rec.BackoffCap
+	}
+	if j := i.rec.Jitter; j > 0 && d > 0 {
+		d = sim.Duration(float64(d) * (1 + j*(2*i.env.Rand().Float64()-1)))
+	}
+	return d
 }
 
 // onLinkUp requeues every in-flight command as soon as an outage window

@@ -1,0 +1,139 @@
+package nvmeof_test
+
+import (
+	"testing"
+
+	"nvmetro/internal/blockdev"
+	"nvmetro/internal/nvme"
+	"nvmetro/internal/nvmeof"
+	"nvmetro/internal/sim"
+)
+
+// outageRecovery submits one write at t=0 into a 4 ms outage and returns
+// the completion latency plus the number of timeout-driven resends burned
+// during the outage.
+func outageRecovery(t *testing.T, rec nvmeof.InitiatorRecovery) (sim.Duration, uint64) {
+	t.Helper()
+	env, th, init, _, link := remoteBed()
+	link.ScheduleOutage(0, 4*sim.Millisecond)
+	if err := init.SetRecovery(rec); err != nil {
+		t.Fatal(err)
+	}
+	var lag sim.Duration
+	runP(t, env, func(p *sim.Proc) {
+		start := p.Now()
+		if st := bioWait(p, th, init, &blockdev.Bio{Op: blockdev.BioWrite, Sector: 8, Data: make([]byte, 4096)}); !st.OK() {
+			t.Fatalf("write across outage: %v", st)
+		}
+		lag = p.Now().Sub(start)
+		p.Sleep(10 * sim.Millisecond) // let any superseded backoff timers fire harmlessly
+	})
+	return lag, init.Retries
+}
+
+// Capped jittered exponential backoff must not regress outage recovery
+// time: the link-up requeue preempts whatever resend is pending, so
+// recovery stays pinned to the outage end — while the exponential ladder
+// burns strictly fewer futile resends into the dead link than a constant
+// resend interval does.
+func TestBackoffDoesNotRegressOutageRecovery(t *testing.T) {
+	constant := nvmeof.InitiatorRecovery{
+		Timeout:    200 * sim.Microsecond,
+		MaxRetries: 64,
+		Backoff:    100 * sim.Microsecond,
+		BackoffCap: 100 * sim.Microsecond, // cap at the base: constant interval
+	}
+	exp := nvmeof.InitiatorRecovery{
+		Timeout:    200 * sim.Microsecond,
+		MaxRetries: 64,
+		Backoff:    100 * sim.Microsecond,
+		BackoffCap: 800 * sim.Microsecond,
+		Jitter:     0.25,
+	}
+	constLag, constRetries := outageRecovery(t, constant)
+	expLag, expRetries := outageRecovery(t, exp)
+
+	// Recovery is link-up-driven for both: the exponential ladder may add
+	// at most scheduling noise, never an extra backoff period.
+	if expLag > constLag+100*sim.Microsecond {
+		t.Fatalf("exponential backoff regressed recovery: %v vs %v constant", expLag, constLag)
+	}
+	// And it must actually thin the futile resend storm.
+	if expRetries >= constRetries {
+		t.Fatalf("exponential backoff did not reduce futile resends: %d vs %d constant", expRetries, constRetries)
+	}
+	if constRetries == 0 {
+		t.Fatal("constant-backoff control burned no resends; outage setup broken")
+	}
+}
+
+// The jittered delay stream is deterministic per seed and stays within
+// the configured cap (+ jitter fraction).
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	rec := nvmeof.InitiatorRecovery{
+		Timeout:    100 * sim.Microsecond,
+		MaxRetries: 32,
+		Backoff:    50 * sim.Microsecond,
+		BackoffCap: 400 * sim.Microsecond,
+		Jitter:     0.25,
+	}
+	run := func() (sim.Duration, uint64) { return outageRecovery(t, rec) }
+	lagA, retriesA := run()
+	lagB, retriesB := run()
+	if lagA != lagB || retriesA != retriesB {
+		t.Fatalf("same seed diverged: lag %v/%v retries %d/%d", lagA, lagB, retriesA, retriesB)
+	}
+	// 4 ms outage, ladder 50,100,200,400,400,… (+25% jitter) after a
+	// 100 µs timeout each: at least 7 resend attempts always fit.
+	if retriesA < 7 {
+		t.Fatalf("suspiciously few resends (%d); backoff exceeding its cap?", retriesA)
+	}
+}
+
+// StaleResponses keeps counting across generations of resends: responses
+// to attempts superseded by a later resend are dropped, never double-
+// completed. (Guards the resend path against the backoff refactor.)
+func TestBackoffSupersededResponsesDropped(t *testing.T) {
+	env, th, init, store, link := remoteBed()
+	link.ScheduleOutage(0, 2*sim.Millisecond)
+	if err := init.SetRecovery(nvmeof.InitiatorRecovery{
+		Timeout:    150 * sim.Microsecond,
+		MaxRetries: 32,
+		Backoff:    100 * sim.Microsecond,
+		BackoffCap: 300 * sim.Microsecond,
+		Jitter:     0.2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+	completions := 0
+	runP(t, env, func(p *sim.Proc) {
+		c := sim.NewCond(env)
+		b := &blockdev.Bio{Op: blockdev.BioWrite, Sector: 16, Data: append([]byte(nil), data...)}
+		b.OnDone = func(st nvme.Status) {
+			if !st.OK() {
+				t.Errorf("status %v", st)
+			}
+			completions++
+			c.Signal(nil)
+		}
+		init.SubmitBio(p, th, b)
+		for completions == 0 {
+			c.Wait()
+		}
+		p.Sleep(10 * sim.Millisecond)
+	})
+	if completions != 1 {
+		t.Fatalf("bio completed %d times under resend backoff", completions)
+	}
+	got := make([]byte, 4096)
+	store.ReadBlocks(16, got)
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatal("write landed corrupted after resend storm")
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"nvmetro/internal/sgx"
 	"nvmetro/internal/sim"
 	"nvmetro/internal/storfn"
+	"nvmetro/internal/supervise"
 	"nvmetro/internal/uif"
 	"nvmetro/internal/vm"
 )
@@ -24,13 +25,16 @@ type NVMetro struct {
 	// gets its own router worker (the main evaluation setup).
 	SharedWorkers int
 
-	shared   *core.Router
-	fw       *uif.Framework
-	setup    func(vc *core.Controller)
-	name     string
-	byVM     map[*vm.VM]*core.Controller
-	byCacher map[*core.Controller]*storfn.Cacher
-	qosCfg   *qos.Config
+	shared     *core.Router
+	fw         *uif.Framework
+	setup      func(vc *core.Controller)
+	name       string
+	byVM       map[*vm.VM]*core.Controller
+	byCacher   map[*core.Controller]*storfn.Cacher
+	byCacheSup map[*core.Controller]*storfn.CacherSupervision
+	bySup      map[*core.Controller]*supervise.Supervisor
+	qosCfg     *qos.Config
+	supPol     *supervise.Policy
 }
 
 // NewNVMetro creates the basic configuration.
@@ -121,6 +125,37 @@ func (s *NVMetro) framework(threads int) *uif.Framework {
 // control-plane handle used to swap classifiers or attach UIFs live).
 func (s *NVMetro) ControllerFor(v *vm.VM) *core.Controller { return s.byVM[v] }
 
+// WithSupervision runs every storage-function UIF this solution attaches
+// under a supervisor with the given watchdog/restart policy. Applies to
+// VMs provisioned after the call; the SGX encryptor variant is excluded
+// (enclave relaunch is out of scope).
+func (s *NVMetro) WithSupervision(pol supervise.Policy) *NVMetro {
+	if err := pol.Validate(); err != nil {
+		panic(err)
+	}
+	s.supPol = &pol
+	if s.bySup == nil {
+		s.bySup = make(map[*core.Controller]*supervise.Supervisor)
+	}
+	return s
+}
+
+// SupervisorFor returns the supervisor attached to v's storage function,
+// or nil when WithSupervision is not configured.
+func (s *NVMetro) SupervisorFor(v *vm.VM) *supervise.Supervisor {
+	return s.bySup[s.byVM[v]]
+}
+
+// launchSupervised starts fn's UIF under the configured supervision policy.
+func (s *NVMetro) launchSupervised(vc *core.Controller, fw *uif.Framework, ring *blockdev.URing, fn supervise.Function) *supervise.Supervisor {
+	sup, err := supervise.Launch(s.h.Env, fw, vc, ring, 512, fn, *s.supPol)
+	if err != nil {
+		panic(err)
+	}
+	s.bySup[vc] = sup
+	return sup
+}
+
 // Provision implements Solution.
 func (s *NVMetro) Provision(v *vm.VM, part device.Partition) vm.Disk {
 	vc := s.router().Attach(v, part)
@@ -147,12 +182,17 @@ func (s *NVMetro) WithEncryption(key []byte, useSGX bool) *NVMetro {
 	}
 	s.setup = func(vc *core.Controller) {
 		part := vc.Partition()
+		bdev := blockdev.NewNVMeBlockDev(s.h.Env, device.WholeNamespace(part.Dev, part.NSID), s.h.CPU, s.h.guestCores, s.h.Params.Block)
+		ring := blockdev.NewURing(s.h.Env, bdev, s.h.Params.URing)
+		if s.supPol != nil && !useSGX {
+			s.launchSupervised(vc, s.framework(2), ring,
+				storfn.NewEncryptorSupervision(part, key, s.h.Params.Enc))
+			return
+		}
 		prog, _ := storfn.EncryptorClassifier(part)
 		if err := vc.LoadClassifier(prog); err != nil {
 			panic(err)
 		}
-		bdev := blockdev.NewNVMeBlockDev(s.h.Env, device.WholeNamespace(part.Dev, part.NSID), s.h.CPU, s.h.guestCores, s.h.Params.Block)
-		ring := blockdev.NewURing(s.h.Env, bdev, s.h.Params.URing)
 		var handler uif.Handler
 		nthreads := 2
 		if useSGX {
@@ -182,11 +222,16 @@ func (s *NVMetro) WithReplication(secondary func(part device.Partition) blockdev
 	s.name = "NVMetro Repl."
 	s.setup = func(vc *core.Controller) {
 		part := vc.Partition()
+		ring := blockdev.NewURing(s.h.Env, secondary(part), s.h.Params.URing)
+		if s.supPol != nil {
+			s.launchSupervised(vc, s.framework(1), ring,
+				storfn.NewReplicatorSupervision(part, storfn.NewReplicator()))
+			return
+		}
 		prog, _ := storfn.ReplicatorClassifier(part)
 		if err := vc.LoadClassifier(prog); err != nil {
 			panic(err)
 		}
-		ring := blockdev.NewURing(s.h.Env, secondary(part), s.h.Params.URing)
 		s.framework(1).Attach(vc.AttachUIF(512), storfn.NewReplicator(), ring)
 	}
 	return s
@@ -203,17 +248,26 @@ func (s *NVMetro) WithCache(cp storfn.CacheParams) *NVMetro {
 	}
 	s.setup = func(vc *core.Controller) {
 		part := vc.Partition()
-		nq := vc.AttachUIF(512)
 		p := cp
-		p.Cache.BlockSize = uint32(1) << nq.BlockShift()
+		p.Cache.BlockSize = uint32(1) << part.Dev.Params().LBAShift
+		bdev := blockdev.NewNVMeBlockDev(s.h.Env, device.WholeNamespace(part.Dev, part.NSID), s.h.CPU, s.h.guestCores, s.h.Params.Block)
+		ring := blockdev.NewURing(s.h.Env, bdev, s.h.Params.URing)
+		if s.supPol != nil {
+			cs := storfn.NewCacherSupervision(s.h.Env, part, p)
+			s.launchSupervised(vc, s.framework(2), ring, cs)
+			if s.byCacheSup == nil {
+				s.byCacheSup = make(map[*core.Controller]*storfn.CacherSupervision)
+			}
+			s.byCacheSup[vc] = cs
+			return
+		}
+		nq := vc.AttachUIF(512)
 		cacher := storfn.NewCacher(s.h.Env, p)
 		s.byCacher[vc] = cacher
 		prog, _ := storfn.CacheClassifier(part, cacher.Hints(), p.HotThreshold)
 		if err := vc.LoadClassifier(prog); err != nil {
 			panic(err)
 		}
-		bdev := blockdev.NewNVMeBlockDev(s.h.Env, device.WholeNamespace(part.Dev, part.NSID), s.h.CPU, s.h.guestCores, s.h.Params.Block)
-		ring := blockdev.NewURing(s.h.Env, bdev, s.h.Params.URing)
 		s.framework(2).Attach(nq, cacher, ring)
 	}
 	return s
@@ -221,8 +275,13 @@ func (s *NVMetro) WithCache(cp storfn.CacheParams) *NVMetro {
 
 // CacherFor returns the cache UIF provisioned for v's controller (stats,
 // cache and heat-map access), or nil when WithCache is not configured.
+// Under supervision this is the current generation — a restart replaces it.
 func (s *NVMetro) CacherFor(v *vm.VM) *storfn.Cacher {
-	return s.byCacher[s.byVM[v]]
+	vc := s.byVM[v]
+	if cs := s.byCacheSup[vc]; cs != nil {
+		return cs.Cacher()
+	}
+	return s.byCacher[vc]
 }
 
 // RemoteHost is a second machine holding the replication secondary.

@@ -108,6 +108,13 @@ type Resyncer struct {
 	kick   *sim.Cond // wakes the worker on a trigger
 	ioDone *sim.Cond // wakes the worker on chunk I/O completion
 
+	// retrigger records a Trigger that arrived while a pass was still
+	// running (about to abort — e.g. the supervisor promoted a restarted
+	// UIF before the old pass observed its dead attachment): the worker
+	// re-enters Resyncing right after the abort instead of parking
+	// Degraded with nobody left to kick it.
+	retrigger bool
+
 	// In-flight resync window: [winLBA, winEnd) is being copied or
 	// verified right now. winDirtied records a guest write landing in it.
 	winOpen        bool
@@ -184,9 +191,20 @@ func (rs *Resyncer) setState(s MirrorState) {
 	}
 }
 
+// SetAttachment repoints the secondary leg at a new uif attachment
+// generation — the supervisor calls this when it promotes a restarted
+// UIF; the dead generation's ring is never touched again.
+func (rs *Resyncer) SetAttachment(att *uif.Attachment) { rs.att = att }
+
 // Trigger starts a resync pass if the mirror is degraded; it is a no-op
-// in any other state. Safe from both process and callback context.
+// when already in sync. A trigger landing while a pass is running is
+// remembered and replayed if that pass aborts. Safe from both process
+// and callback context.
 func (rs *Resyncer) Trigger() {
+	if rs.state == StateResyncing {
+		rs.retrigger = true
+		return
+	}
 	if rs.state != StateDegraded {
 		return
 	}
@@ -245,6 +263,10 @@ func (rs *Resyncer) run(p *sim.Proc) {
 			rs.kick.Wait()
 		}
 		rs.pass(p)
+		if rs.retrigger {
+			rs.retrigger = false
+			rs.Trigger()
+		}
 	}
 }
 

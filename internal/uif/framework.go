@@ -12,9 +12,11 @@ package uif
 
 import (
 	"fmt"
+	"sort"
 
 	"nvmetro/internal/blockdev"
 	"nvmetro/internal/core"
+	"nvmetro/internal/fault"
 	"nvmetro/internal/nvme"
 	"nvmetro/internal/sim"
 )
@@ -56,6 +58,32 @@ type Request struct {
 	segs []nvme.Segment
 }
 
+// AttState is the liveness state of one attachment's servicing.
+type AttState int
+
+// Attachment liveness states.
+const (
+	// AttHealthy: the poll loop services this attachment normally.
+	AttHealthy AttState = iota
+	// AttWedged: the poll loop is stalled — alive but making no progress.
+	AttWedged
+	// AttDead: the poll loop died; all in-process state is lost and the
+	// attachment never services anything again. Terminal.
+	AttDead
+)
+
+func (s AttState) String() string {
+	switch s {
+	case AttHealthy:
+		return "healthy"
+	case AttWedged:
+		return "wedged"
+	case AttDead:
+		return "dead"
+	}
+	return fmt.Sprintf("AttState(%d)", int(s))
+}
+
 // Attachment binds one VM's notify queues to a handler, with an optional
 // io_uring for backend I/O.
 type Attachment struct {
@@ -66,15 +94,36 @@ type Attachment struct {
 	shift   uint8
 
 	pendingRing map[uint64]ringWait
-	nextRingID  uint64
 	deferred    []func(p *sim.Proc, th *sim.Thread)
+	backlog     []backendIO
+
+	inj          *fault.Injector
+	state        AttState
+	wedgeUntil   sim.Time
+	wedgeForever bool
 
 	// Stats
 	Events, AsyncDone uint64
+	progress          uint64
+	CrashFaults       uint64 // injected poll-loop crashes
+	WedgeFaults       uint64 // injected poll-loop stalls
 }
 
 type ringWait struct {
 	tag     uint16
+	andThen func(p *sim.Proc, th *sim.Thread, st nvme.Status)
+	// failable marks host-side backend waits (SubmitBackendIO): their
+	// andThen tolerates running with nil p/th, so Kill can fail them
+	// instead of stranding the caller. Guest-request waits are dropped on
+	// Kill — the router's reconciliation owns those commands.
+	failable bool
+}
+
+// backendIO is one queued SubmitBackendIO not yet submitted to the ring.
+type backendIO struct {
+	op      blockdev.BioOp
+	sector  uint64
+	data    []byte
 	andThen func(p *sim.Proc, th *sim.Thread, st nvme.Status)
 }
 
@@ -86,8 +135,14 @@ type Framework struct {
 	wake   *sim.Cond
 	asleep int
 
+	// nextRingID is framework-global so ring UserData values stay unique
+	// across attachment generations: a restarted attachment sharing its
+	// predecessor's ring must never reap a stale CQE into a fresh wait.
+	nextRingID uint64
+
 	// Stats
-	Polls, Wakes uint64
+	Polls, Wakes   uint64
+	StaleRingComps uint64 // CQEs reaped with no matching wait (dead owner)
 }
 
 // NewFramework creates a framework with the given polling threads.
@@ -154,6 +209,15 @@ func (f *Framework) pollLoop(p *sim.Proc, th *sim.Thread) {
 
 // sweep services one attachment once, reporting whether any work was found.
 func (f *Framework) sweep(p *sim.Proc, th *sim.Thread, att *Attachment) bool {
+	switch att.state {
+	case AttDead:
+		return false
+	case AttWedged:
+		if att.wedgeForever || f.env.Now() < att.wedgeUntil {
+			return false
+		}
+		att.state = AttHealthy
+	}
 	did := false
 
 	// Deferred work queued from non-thread contexts (e.g. enclave jobs).
@@ -161,6 +225,16 @@ func (f *Framework) sweep(p *sim.Proc, th *sim.Thread, att *Attachment) bool {
 		fn := att.deferred[0]
 		att.deferred = att.deferred[1:]
 		fn(p, th)
+		att.progress++
+		did = true
+	}
+
+	// Host-side backend I/O queued out-of-band (resync legs).
+	for len(att.backlog) > 0 {
+		b := att.backlog[0]
+		att.backlog = att.backlog[1:]
+		att.submitRing(p, th, b.op, b.sector, b.data, ringWait{andThen: b.andThen, failable: true})
+		att.progress++
 		did = true
 	}
 
@@ -169,6 +243,10 @@ func (f *Framework) sweep(p *sim.Proc, th *sim.Thread, att *Attachment) bool {
 		for _, cqe := range att.ring.Reap(p, th, 32) {
 			w, ok := att.pendingRing[cqe.UserData]
 			if !ok {
+				// A CQE whose owner died: the wait table was cleared by
+				// Kill, or the I/O belonged to a previous attachment
+				// generation sharing this ring.
+				f.StaleRingComps++
 				continue
 			}
 			delete(att.pendingRing, cqe.UserData)
@@ -178,6 +256,7 @@ func (f *Framework) sweep(p *sim.Proc, th *sim.Thread, att *Attachment) bool {
 				att.complete(p, th, w.tag, cqe.Status)
 			}
 			att.AsyncDone++
+			att.progress++
 			did = true
 		}
 	}
@@ -185,12 +264,29 @@ func (f *Framework) sweep(p *sim.Proc, th *sim.Thread, att *Attachment) bool {
 	// New requests from the router.
 	var cmd nvme.Command
 	for i := 0; i < 32; i++ {
+		if att.inj != nil && att.nq.Pending() > 0 {
+			// One liveness draw per command about to be serviced; a crash
+			// or wedge strands the command (and everything behind it) in
+			// the NSQ — exactly what the watchdog must detect.
+			d := att.inj.Decide(fault.ClassOther)
+			if d.Crash {
+				att.CrashFaults++
+				att.Kill()
+				return did
+			}
+			if d.Wedge {
+				att.WedgeFaults++
+				att.Wedge(d.WedgeFor)
+				return did
+			}
+		}
 		tag, ok := att.nq.Pop(&cmd)
 		if !ok {
 			break
 		}
 		th.Exec(p, f.costs.Parse)
 		att.Events++
+		att.progress++
 		req := &Request{Cmd: cmd, Tag: tag, att: att}
 		async, st := att.handler.Work(p, th, req)
 		if !async {
@@ -202,9 +298,84 @@ func (f *Framework) sweep(p *sim.Proc, th *sim.Thread, att *Attachment) bool {
 }
 
 func (att *Attachment) complete(p *sim.Proc, th *sim.Thread, tag uint16, st nvme.Status) {
+	if att.state == AttDead {
+		// A dead process posts nothing; the router's reconciliation owns
+		// the command.
+		return
+	}
 	th.Exec(p, att.f.costs.Complete)
 	if !att.nq.Complete(tag, st) {
 		panic("uif: NCQ full")
+	}
+}
+
+// State returns the attachment's liveness state.
+func (att *Attachment) State() AttState { return att.state }
+
+// Progress returns a counter that advances whenever the poll loop services
+// anything for this attachment — the watchdog's heartbeat signal. It is
+// observed externally; a dead or wedged loop cannot fake it.
+func (att *Attachment) Progress() uint64 { return att.progress }
+
+// SetFaultInjector arms inj as this attachment's per-command liveness
+// fault site (UIFCrash/UIFWedge rules). nil disarms.
+func (att *Attachment) SetFaultInjector(inj *fault.Injector) { att.inj = inj }
+
+// FaultInjector returns the armed injector (nil when disarmed).
+func (att *Attachment) FaultInjector() *fault.Injector { return att.inj }
+
+// Kill terminates the attachment's servicing as a process death would:
+// state is lost, queued work is abandoned, and nothing is ever serviced
+// or completed again. Host-side backend waits (SubmitBackendIO) fail with
+// SCPathError so synchronous callers (the resync engine) unblock;
+// guest-request waits are dropped — the router's reconciliation decides
+// their fate. Safe from any simulation context; idempotent.
+func (att *Attachment) Kill() {
+	if att.state == AttDead {
+		return
+	}
+	att.state = AttDead
+	var fail []func(p *sim.Proc, th *sim.Thread, st nvme.Status)
+	for _, b := range att.backlog {
+		if b.andThen != nil {
+			fail = append(fail, b.andThen)
+		}
+	}
+	att.backlog = nil
+	ids := make([]uint64, 0, len(att.pendingRing))
+	for id := range att.pendingRing {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if w := att.pendingRing[id]; w.failable && w.andThen != nil {
+			fail = append(fail, w.andThen)
+		}
+	}
+	att.pendingRing = make(map[uint64]ringWait)
+	att.deferred = nil
+	for _, fn := range fail {
+		fn := fn
+		// Failable callbacks tolerate nil p/th by contract; deliver from
+		// scheduler context so Kill itself never blocks.
+		att.f.env.After(0, func() { fn(nil, nil, nvme.SCPathError) })
+	}
+}
+
+// Wedge stalls the attachment's servicing for d (0 = until killed). The
+// process is alive — in-flight state is kept — but nothing moves until
+// the stall expires. No-op on a dead attachment.
+func (att *Attachment) Wedge(d sim.Duration) {
+	if att.state == AttDead {
+		return
+	}
+	att.state = AttWedged
+	if d > 0 {
+		att.wedgeUntil = att.f.env.Now().Add(d)
+		att.wedgeForever = false
+		att.f.env.After(d, att.f.hint)
+	} else {
+		att.wedgeForever = true
 	}
 }
 
@@ -212,15 +383,20 @@ func (att *Attachment) complete(p *sim.Proc, th *sim.Thread, tag uint16, st nvme
 func (att *Attachment) VMID() int { return att.nq.VMID() }
 
 // Defer queues fn to run on a polling thread; safe from callback contexts.
+// Work deferred to a dead attachment is silently dropped — the process it
+// would have run in no longer exists.
 func (att *Attachment) Defer(fn func(p *sim.Proc, th *sim.Thread)) {
+	if att.state == AttDead {
+		return
+	}
 	att.deferred = append(att.deferred, fn)
 	att.f.hint()
 }
 
 // submitRing installs w in the ring-completion table and submits the I/O.
 func (att *Attachment) submitRing(p *sim.Proc, th *sim.Thread, op blockdev.BioOp, sector uint64, data []byte, w ringWait) {
-	att.nextRingID++
-	id := att.nextRingID
+	att.f.nextRingID++
+	id := att.f.nextRingID
 	att.pendingRing[id] = w
 	att.ring.Submit(p, th, op, sector, data, id)
 }
@@ -229,11 +405,19 @@ func (att *Attachment) submitRing(p *sim.Proc, th *sim.Thread, op blockdev.BioOp
 // to a guest request — the resync engine uses it to read the secondary
 // and replay dirty chunks through the same ring (and ordering domain) as
 // the foreground mirror writes. Safe from any simulation context; andThen
-// runs on a polling thread when the I/O completes.
+// runs on a polling thread when the I/O completes — except when the
+// attachment dies (Kill) before the I/O finishes, in which case andThen
+// runs from scheduler context with nil p/th and SCPathError. Callers must
+// therefore not touch p/th on a non-OK status.
 func (att *Attachment) SubmitBackendIO(op blockdev.BioOp, sector uint64, data []byte, andThen func(p *sim.Proc, th *sim.Thread, st nvme.Status)) {
-	att.Defer(func(p *sim.Proc, th *sim.Thread) {
-		att.submitRing(p, th, op, sector, data, ringWait{andThen: andThen})
-	})
+	if att.state == AttDead {
+		if andThen != nil {
+			att.f.env.After(0, func() { andThen(nil, nil, nvme.SCPathError) })
+		}
+		return
+	}
+	att.backlog = append(att.backlog, backendIO{op: op, sector: sector, data: data, andThen: andThen})
+	att.f.hint()
 }
 
 // --- Request accessors ----------------------------------------------------

@@ -22,12 +22,15 @@ import (
 	"nvmetro/internal/core"
 	"nvmetro/internal/device"
 	"nvmetro/internal/ebpf"
+	"nvmetro/internal/fault"
 	"nvmetro/internal/fio"
 	"nvmetro/internal/harness"
+	"nvmetro/internal/metrics"
 	"nvmetro/internal/qos"
 	"nvmetro/internal/sim"
 	"nvmetro/internal/stack"
 	"nvmetro/internal/storfn"
+	"nvmetro/internal/supervise"
 	"nvmetro/internal/vm"
 )
 
@@ -85,6 +88,19 @@ type (
 	// SharedNVMetro is the shared-worker NVMetro solution handle, used for
 	// multi-tenant setups (QoS arbitration, Fig. 5 scaling).
 	SharedNVMetro = stack.NVMetro
+
+	// SupervisePolicy tunes the UIF watchdog and restart behaviour.
+	SupervisePolicy = supervise.Policy
+	// Supervisor watches one storage function's UIF attachment: detection,
+	// reconciliation, degraded routing and supervised restarts.
+	Supervisor = supervise.Supervisor
+	// FaultPlan is a deterministic per-site fault schedule (media errors,
+	// fabric outages, UIF crashes/wedges).
+	FaultPlan = fault.Plan
+	// FaultInjector is one site's armed view of a FaultPlan.
+	FaultInjector = fault.Injector
+	// CounterSet is an insertion-ordered bag of named counters.
+	CounterSet = metrics.CounterSet
 )
 
 // Convenient duration units (virtual time).
@@ -236,6 +252,40 @@ func (s *System) AttachCached(v *VM, part Partition, cp CacheParams) (*AttachedD
 	sol := stack.NewNVMetro(s.Host).WithCache(cp)
 	disk := sol.Provision(v, part)
 	return &AttachedDisk{VM: v, Disk: disk}, sol.CacherFor(v)
+}
+
+// DefaultSupervisePolicy returns the calibrated UIF watchdog policy.
+func DefaultSupervisePolicy() SupervisePolicy { return supervise.DefaultPolicy() }
+
+// NewFaultPlan creates a deterministic fault schedule; arm sites on it
+// (e.g. WithUIFCrash) and hand per-site injectors to a Supervisor.
+func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
+
+// AttachEncryptedSupervised is AttachEncrypted under UIF supervision: the
+// returned Supervisor detects a crashed or wedged encryptor, fail-stops
+// routing (never plaintext) and restarts it under backoff.
+func (s *System) AttachEncryptedSupervised(v *VM, part Partition, key []byte, pol SupervisePolicy) (*AttachedDisk, *Supervisor) {
+	sol := stack.NewNVMetro(s.Host).WithEncryption(key, false).WithSupervision(pol)
+	disk := sol.Provision(v, part)
+	return &AttachedDisk{VM: v, Disk: disk}, sol.SupervisorFor(v)
+}
+
+// AttachCachedSupervised is AttachCached under UIF supervision: on failure
+// the cache is bypassed (reads fall back to the device) and the restarted
+// generation begins cold, so no stale block can ever be served.
+func (s *System) AttachCachedSupervised(v *VM, part Partition, cp CacheParams, pol SupervisePolicy) (*AttachedDisk, *Supervisor) {
+	sol := stack.NewNVMetro(s.Host).WithCache(cp).WithSupervision(pol)
+	disk := sol.Provision(v, part)
+	return &AttachedDisk{VM: v, Disk: disk}, sol.SupervisorFor(v)
+}
+
+// AttachReplicatedSupervised is AttachReplicated under UIF supervision: on
+// failure writes continue primary-only with dirty-region tracking and the
+// mirror resynchronizes after the restart.
+func (s *System) AttachReplicatedSupervised(v *VM, part Partition, remote *RemoteHost, pol SupervisePolicy) (*AttachedDisk, *Supervisor) {
+	sol := stack.NewNVMetro(s.Host).WithReplication(remote.Secondary()).WithSupervision(pol)
+	disk := sol.Provision(v, part)
+	return &AttachedDisk{VM: v, Disk: disk}, sol.SupervisorFor(v)
 }
 
 // Baseline names accepted by AttachBaseline.
