@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test fmt bench bench-smoke chaos-smoke
+.PHONY: check build vet test fmt bench bench-smoke chaos-smoke scrub-smoke
 
 # check is the CI gate: build, vet, race-enabled tests, gofmt cleanliness
-# (fails listing the offending files) and the short-seed chaos suite.
-check: build vet test fmt chaos-smoke
+# (fails listing the offending files), the short-seed chaos suite and the
+# short-seed integrity/scrub suite.
+check: build vet test fmt chaos-smoke scrub-smoke
 
 build:
 	$(GO) build ./...
@@ -40,3 +41,11 @@ chaos-smoke:
 	$(GO) test -race -run 'TestWatchdog|TestBackoff|TestHealthy|TestClassifierHotSwap' ./internal/supervise/ ./internal/nvmeof/
 	$(GO) test -race -run 'TestSupervised' ./internal/storfn/
 	$(GO) test -race -run 'TestChaos' ./internal/harness/
+
+# scrub-smoke runs the end-to-end data-integrity suite under the race
+# detector: PI domain/corrupting-store unit tests and the short-seed
+# scrub experiment (detection, replica repair, quarantine, determinism,
+# QoS contract under active scrub).
+scrub-smoke:
+	$(GO) test -race ./internal/integrity/
+	$(GO) test -race -run 'TestScrub' ./internal/harness/

@@ -118,6 +118,15 @@ type NVMeBlockDev struct {
 	StaleReclaimed       uint64 // late completions for already-reclaimed tags
 	Reclaimed            uint64 // quarantined CIDs recycled without a completion
 	PRPErrors            uint64 // bios failed at PRP build
+	GuardErrors          uint64 // reads failing protection-info verification
+
+	verifier ReadVerifier
+}
+
+// ReadVerifier checks read payloads against per-block protection info at
+// the driver's completion boundary (satisfied by *integrity.SectorGuard).
+type ReadVerifier interface {
+	VerifySectors(sector uint64, data []byte) bool
 }
 
 // lostCID is one quarantined tag: the generation of the attempt that lost
@@ -187,6 +196,14 @@ func (d *NVMeBlockDev) SetRecovery(rec Recovery) error {
 
 // Recovery returns the active error-recovery policy.
 func (d *NVMeBlockDev) Recovery() Recovery { return d.rec }
+
+// SetVerifier installs a protection-info verifier on the read completion
+// path (nil detaches). A read whose payload fails verification completes
+// with a guard-check media error instead of delivering wrong data.
+func (d *NVMeBlockDev) SetVerifier(v ReadVerifier) { d.verifier = v }
+
+// Partition returns the device partition this block device covers.
+func (d *NVMeBlockDev) Partition() device.Partition { return d.part }
 
 // NumSectors implements BlockDevice.
 func (d *NVMeBlockDev) NumSectors() uint64 {
@@ -395,6 +412,14 @@ func (d *NVMeBlockDev) finishBio(pend *pendingBio, st nvme.Status) {
 				end = len(pend.bio.Data)
 			}
 			d.hostmem.ReadAt(pend.bio.Data[off:end], pg)
+		}
+		if d.verifier != nil && !d.verifier.VerifySectors(pend.bio.Sector, pend.bio.Data) {
+			// The device returned data that contradicts its protection
+			// info: surface a guard error instead of wrong data. The
+			// payload stays in bio.Data for layers (the scrubber) that
+			// diagnose the damage.
+			d.GuardErrors++
+			st = nvme.SCGuardCheck
 		}
 	}
 	d.releaseDMA(pend)

@@ -57,6 +57,7 @@ type request struct {
 	waiters   int         // outstanding dispComplete hops
 	status    nvme.Status // first error seen on any hop
 	completed bool        // guest completion posted
+	stamped   bool        // guard-stamped write, tracked in activeWrites
 }
 
 // hop is one dispatched leg of a request. Dispositions are tracked per hop
@@ -168,6 +169,40 @@ type Controller struct {
 	retry       []func()
 	outstanding int
 	tenant      *qos.Tenant // arbiter state, nil until Router.EnableQoS
+
+	guard        BlockGuard
+	guardShift   uint8
+	activeWrites []*request     // stamped writes in flight (see guardAdmit)
+	guardReads   []*request     // guarded reads in flight (see retireRead)
+	recentWrites []settledRange // settled writes still racing in-flight reads
+}
+
+// settledRange is a stamped write that completed while guarded reads were
+// outstanding: a read admitted before at may legitimately carry the
+// previous generation, so verification stands down for it.
+type settledRange struct {
+	lba, blocks uint64
+	at          sim.Time
+}
+
+// BlockGuard is the per-device protection-info surface the controller
+// stamps guest writes into and verifies guest reads against (satisfied by
+// *integrity.Guard). core cannot import integrity — the uif package
+// imports core — so the dependency is inverted through this interface.
+type BlockGuard interface {
+	Stamp(lba uint64, data []byte)
+	Verify(lba uint64, data []byte) bool
+	Quarantined(lba, blocks uint64) bool
+}
+
+// SetGuard installs end-to-end protection info on this controller (nil
+// detaches): guest writes are stamped at admission — after classification,
+// when the SLBA is device-absolute — and guest read completions are
+// verified before posting, so wrong data can never reach the guest with an
+// OK status no matter which path served it.
+func (vc *Controller) SetGuard(g BlockGuard) {
+	vc.guard = g
+	vc.guardShift = vc.part.Dev.Params().LBAShift
 }
 
 // Attach creates a virtual controller for v over part, served by one of the
@@ -364,6 +399,10 @@ func (w *worker) classifyAndRoute(req *request, hook uint32, errStatus nvme.Stat
 		return
 	}
 
+	if hook == HookVSQ && vc.guard != nil && !w.guardAdmit(req) {
+		return
+	}
+
 	dispOf := func(sendBit, hookBit, compBit uint64) (disposition, bool) {
 		if actions&sendBit == 0 {
 			return dispNone, false
@@ -407,6 +446,141 @@ func (w *worker) classifyAndRoute(req *request, hook uint32, errStatus nvme.Stat
 	}
 }
 
+// guardAdmit runs the protection-info admission step for a routed guest
+// command (the classifier has run, so the SLBA is device-absolute):
+// writes are stamped from the guest payload before dispatch, and reads of
+// quarantined ranges are refused with a media error before touching any
+// backend. Returns false when the request was completed here.
+func (w *worker) guardAdmit(req *request) bool {
+	vc := req.vq.vc
+	lba, blocks := req.cmd.SLBA(), uint64(req.cmd.Blocks())
+	switch req.cmd.Opcode() {
+	case nvme.OpRead:
+		if vc.guard.Quarantined(lba, blocks) {
+			w.r.QuarantinedReads++
+			w.completeReq(req, nvme.SCUnrecoveredRead)
+			return false
+		}
+		vc.guardReads = append(vc.guardReads, req)
+	case nvme.OpWrite:
+		nbytes := uint32(blocks) << vc.guardShift
+		segs, err := nvme.WalkPRP(vc.vm.Mem, req.cmd.PRP1(), req.cmd.PRP2(), nbytes)
+		if err != nil {
+			return true // unmappable payload: the data path reports it
+		}
+		buf := make([]byte, nbytes)
+		if err := nvme.ReadSegments(vc.vm.Mem, segs, buf); err != nil {
+			return true
+		}
+		vc.guard.Stamp(lba, buf)
+		req.stamped = true
+		vc.activeWrites = append(vc.activeWrites, req)
+	case nvme.OpWriteZeroes:
+		vc.guard.Stamp(lba, make([]byte, blocks<<vc.guardShift))
+		req.stamped = true
+		vc.activeWrites = append(vc.activeWrites, req)
+	}
+	return true
+}
+
+// writeInFlight reports whether any stamped guest write overlapping
+// [lba, lba+blocks) is still outstanding. While one is, the backing store
+// may legitimately hold either generation, so read verification stands
+// down — the scrubber's recheck protocol covers the window instead.
+func (vc *Controller) writeInFlight(lba, blocks uint64) bool {
+	for _, wr := range vc.activeWrites {
+		wlba, wblocks := wr.cmd.SLBA(), uint64(wr.cmd.Blocks())
+		if lba < wlba+wblocks && wlba < lba+blocks {
+			return true
+		}
+	}
+	return false
+}
+
+// settleWrite retires a stamped write from the active set. While guarded
+// reads remain in flight, the write's extent is remembered with its
+// settle time: a read admitted before it settled raced it and may carry
+// either generation.
+func (vc *Controller) settleWrite(req *request, now sim.Time) {
+	for i, wr := range vc.activeWrites {
+		if wr == req {
+			vc.activeWrites = append(vc.activeWrites[:i], vc.activeWrites[i+1:]...)
+			break
+		}
+	}
+	if len(vc.guardReads) > 0 {
+		vc.recentWrites = append(vc.recentWrites,
+			settledRange{lba: req.cmd.SLBA(), blocks: uint64(req.cmd.Blocks()), at: now})
+	}
+}
+
+// retireRead removes a completed guarded read from the in-flight set and
+// reports whether a stamped write overlapping it settled during its
+// lifetime (verification must stand down — the read may legitimately
+// carry the pre-write generation). Settled extents no read can race
+// anymore are dropped.
+func (vc *Controller) retireRead(req *request) bool {
+	for i, rd := range vc.guardReads {
+		if rd == req {
+			vc.guardReads = append(vc.guardReads[:i], vc.guardReads[i+1:]...)
+			break
+		}
+	}
+	raced := false
+	lba, blocks := req.cmd.SLBA(), uint64(req.cmd.Blocks())
+	for _, sw := range vc.recentWrites {
+		if sw.at >= req.t0 && lba < sw.lba+sw.blocks && sw.lba < lba+blocks {
+			raced = true
+			break
+		}
+	}
+	minT0 := sim.Time(0)
+	for i, rd := range vc.guardReads {
+		if i == 0 || rd.t0 < minT0 {
+			minT0 = rd.t0
+		}
+	}
+	if len(vc.guardReads) == 0 {
+		vc.recentWrites = vc.recentWrites[:0]
+	} else {
+		kept := vc.recentWrites[:0]
+		for _, sw := range vc.recentWrites {
+			if sw.at >= minT0 {
+				kept = append(kept, sw)
+			}
+		}
+		vc.recentWrites = kept
+	}
+	return raced
+}
+
+// verifyGuestRead checks a successfully completed guest read's payload —
+// already landed in guest memory by whichever path served it — against
+// the protection info. This is the single boundary every read crosses, so
+// a verification failure here is the last line: the guest gets a guard
+// error, never silently wrong data.
+func (w *worker) verifyGuestRead(req *request) nvme.Status {
+	vc := req.vq.vc
+	lba, blocks := req.cmd.SLBA(), uint64(req.cmd.Blocks())
+	if vc.writeInFlight(lba, blocks) {
+		return nvme.SCSuccess
+	}
+	nbytes := uint32(blocks) << vc.guardShift
+	segs, err := nvme.WalkPRP(vc.vm.Mem, req.cmd.PRP1(), req.cmd.PRP2(), nbytes)
+	if err != nil {
+		return nvme.SCSuccess
+	}
+	buf := make([]byte, nbytes)
+	if err := nvme.ReadSegments(vc.vm.Mem, segs, buf); err != nil {
+		return nvme.SCSuccess
+	}
+	if !vc.guard.Verify(lba, buf) {
+		w.r.GuardErrors++
+		return nvme.SCGuardCheck
+	}
+	return nvme.SCSuccess
+}
+
 // finishHop handles completion of one routed hop.
 func (w *worker) finishHop(h hop, t target, status nvme.Status) {
 	req := h.req
@@ -440,6 +614,16 @@ func (w *worker) completeReq(req *request, status nvme.Status) {
 		return
 	}
 	req.completed = true
+	vc := req.vq.vc
+	if req.stamped {
+		vc.settleWrite(req, w.r.env.Now())
+	}
+	if vc.guard != nil && req.cmd.Opcode() == nvme.OpRead {
+		raced := vc.retireRead(req)
+		if status.OK() && !raced {
+			status = w.verifyGuestRead(req)
+		}
+	}
 	if !status.OK() {
 		w.r.GuestErrors++
 	}

@@ -83,6 +83,8 @@ type Router struct {
 	BadQIDs          uint64 // guest operations naming an unknown queue
 	NotifyReconciled uint64 // notify hops completed by supervision reconcile
 	NotifyRequeued   uint64 // notify hops requeued through the classifier
+	GuardErrors      uint64 // guest reads failing protection-info verification
+	QuarantinedReads uint64 // guest reads refused on quarantined ranges
 }
 
 // NewRouter creates a router with one worker per given host thread.

@@ -40,6 +40,17 @@ const (
 	// the process is alive but makes no progress — a livelock, an
 	// allocator stall, a runaway GC pause.
 	UIFWedge
+	// BitRot flips bits in stored data after a successful write: a later
+	// read returns silently corrupted payload with an OK status.
+	BitRot
+	// TornWrite persists only a prefix of the write's payload (the power
+	// failed mid-sector); the command still completes OK.
+	TornWrite
+	// MisdirectedWrite lands the payload at the wrong LBA, leaving the
+	// addressed blocks stale and clobbering an unrelated range.
+	MisdirectedWrite
+	// LostWrite acknowledges the write without persisting anything.
+	LostWrite
 	numKinds
 )
 
@@ -57,8 +68,25 @@ func (k Kind) String() string {
 		return "uif-crash"
 	case UIFWedge:
 		return "uif-wedge"
+	case BitRot:
+		return "bit-rot"
+	case TornWrite:
+		return "torn-write"
+	case MisdirectedWrite:
+		return "misdirected-write"
+	case LostWrite:
+		return "lost-write"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds returns every injectable fault kind, in declaration order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
 }
 
 // Class is the command class an injector is asked about.
@@ -83,9 +111,9 @@ type Rule struct {
 
 func (r Rule) eligible(c Class) bool {
 	switch r.Kind {
-	case MediaReadError:
+	case MediaReadError, BitRot:
 		return c == ClassRead
-	case MediaWriteError:
+	case MediaWriteError, TornWrite, MisdirectedWrite, LostWrite:
 		return c == ClassWrite
 	default:
 		return c == ClassRead || c == ClassWrite || c == ClassOther
@@ -110,10 +138,28 @@ type Plan struct {
 // NewPlan creates an empty plan with the given seed.
 func NewPlan(seed int64) *Plan { return &Plan{Seed: seed} }
 
-// WithRule appends a rule and returns the plan for chaining.
+// WithRule appends a rule and returns the plan for chaining. Invalid rules
+// (Rate outside [0,1], negative Delay or Limit) panic here, at plan build
+// time, instead of silently misbehaving at injection time.
 func (p *Plan) WithRule(r Rule) *Plan {
+	if err := r.Validate(); err != nil {
+		panic("fault: " + err.Error())
+	}
 	p.rules = append(p.rules, r)
 	return p
+}
+
+// Validate checks the rule's parameters for sanity.
+func (r Rule) Validate() error {
+	switch {
+	case r.Rate < 0 || r.Rate > 1:
+		return fmt.Errorf("rule %v: rate %v outside [0,1]", r.Kind, r.Rate)
+	case r.Delay < 0:
+		return fmt.Errorf("rule %v: negative delay %v", r.Kind, r.Delay)
+	case r.Limit < 0:
+		return fmt.Errorf("rule %v: negative limit %d", r.Kind, r.Limit)
+	}
+	return nil
 }
 
 // WithMediaErrors adds read and write media-error rules at the given rate.
@@ -141,6 +187,29 @@ func (p *Plan) WithUIFCrash(rate float64, limit int) *Plan {
 // (0 = wedged until killed).
 func (p *Plan) WithUIFWedge(rate float64, limit int, delay sim.Duration) *Plan {
 	return p.WithRule(Rule{Kind: UIFWedge, Rate: rate, Limit: limit, Delay: delay})
+}
+
+// WithBitRot adds a silent stored-data corruption rule on reads.
+func (p *Plan) WithBitRot(rate float64, limit int) *Plan {
+	return p.WithRule(Rule{Kind: BitRot, Rate: rate, Limit: limit})
+}
+
+// WithTornWrites adds a torn-write rule: only a prefix of the payload
+// persists while the command completes OK.
+func (p *Plan) WithTornWrites(rate float64, limit int) *Plan {
+	return p.WithRule(Rule{Kind: TornWrite, Rate: rate, Limit: limit})
+}
+
+// WithMisdirectedWrites adds a misdirected-write rule: the payload lands at
+// the wrong LBA and the addressed blocks stay stale.
+func (p *Plan) WithMisdirectedWrites(rate float64, limit int) *Plan {
+	return p.WithRule(Rule{Kind: MisdirectedWrite, Rate: rate, Limit: limit})
+}
+
+// WithLostWrites adds a lost-write rule: the write is acknowledged but
+// nothing persists.
+func (p *Plan) WithLostWrites(rate float64, limit int) *Plan {
+	return p.WithRule(Rule{Kind: LostWrite, Rate: rate, Limit: limit})
 }
 
 // WithOutage schedules a link outage window.
@@ -178,17 +247,19 @@ type ruleState struct {
 // Decision is the outcome of one injection query. The zero value means
 // "no fault".
 type Decision struct {
-	Status   nvme.Status  // non-OK fails the command with this status
-	Drop     bool         // suppress the completion entirely
-	Delay    sim.Duration // hold the completion this long before posting
-	Crash    bool         // kill the UIF poll loop (state lost)
-	Wedge    bool         // stall the UIF poll loop
-	WedgeFor sim.Duration // stall duration (0 = until killed)
+	Status     nvme.Status  // non-OK fails the command with this status
+	Drop       bool         // suppress the completion entirely
+	Delay      sim.Duration // hold the completion this long before posting
+	Crash      bool         // kill the UIF poll loop (state lost)
+	Wedge      bool         // stall the UIF poll loop
+	WedgeFor   sim.Duration // stall duration (0 = until killed)
+	Corrupt    Kind         // silent-corruption kind (valid when HasCorrupt)
+	HasCorrupt bool         // a silent-corruption rule fired
 }
 
 // Faulty reports whether any fault was injected.
 func (d Decision) Faulty() bool {
-	return !d.Status.OK() || d.Drop || d.Delay > 0 || d.Crash || d.Wedge
+	return !d.Status.OK() || d.Drop || d.Delay > 0 || d.Crash || d.Wedge || d.HasCorrupt
 }
 
 // Injector is per-site fault state: rule fire counts, the site PRNG stream
@@ -253,6 +324,13 @@ func (inj *Injector) Decide(c Class) Decision {
 			d.Wedge = true
 			if r.Delay > d.WedgeFor {
 				d.WedgeFor = r.Delay
+			}
+		case BitRot, TornWrite, MisdirectedWrite, LostWrite:
+			// first corruption kind to fire wins; later draws still
+			// advance the stream via the hit check above
+			if !d.HasCorrupt {
+				d.Corrupt = r.Kind
+				d.HasCorrupt = true
 			}
 		}
 	}

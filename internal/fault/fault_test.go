@@ -1,6 +1,7 @@
 package fault_test
 
 import (
+	"strings"
 	"testing"
 
 	"nvmetro/internal/fault"
@@ -117,6 +118,82 @@ func TestStuckDelayAndOutages(t *testing.T) {
 	}
 	if p.Empty() {
 		t.Fatal("plan with rules reported empty")
+	}
+}
+
+// Every kind must have a distinct human-readable name: a future numKinds
+// bump can't ship an unnamed kind, because the fallback formatting is
+// "Kind(N)" and that fails this round trip.
+func TestKindStringRoundTrip(t *testing.T) {
+	seen := map[string]fault.Kind{}
+	for _, k := range fault.Kinds() {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name: %q", int(k), s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share the name %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+	}
+	// The set must cover the kinds this PR ships with; growing is fine,
+	// shrinking means a kind was deleted without updating this test.
+	if len(fault.Kinds()) < 10 {
+		t.Fatalf("expected >= 10 kinds, got %d", len(fault.Kinds()))
+	}
+	if !strings.HasPrefix(fault.Kind(len(fault.Kinds())).String(), "Kind(") {
+		t.Error("out-of-range kind should format as Kind(N)")
+	}
+}
+
+// WithRule must reject malformed rules at plan-build time.
+func TestWithRuleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		rule fault.Rule
+		ok   bool
+	}{
+		{"valid", fault.Rule{Kind: fault.DropCompletion, Rate: 0.5}, true},
+		{"rate zero", fault.Rule{Kind: fault.BitRot, Rate: 0}, true},
+		{"rate one", fault.Rule{Kind: fault.LostWrite, Rate: 1}, true},
+		{"rate negative", fault.Rule{Kind: fault.BitRot, Rate: -0.1}, false},
+		{"rate above one", fault.Rule{Kind: fault.TornWrite, Rate: 1.1}, false},
+		{"negative delay", fault.Rule{Kind: fault.StuckCompletion, Rate: 0.5, Delay: -sim.Millisecond}, false},
+		{"negative limit", fault.Rule{Kind: fault.DropCompletion, Rate: 0.5, Limit: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if gotErr := tc.rule.Validate() != nil; gotErr == tc.ok {
+				t.Fatalf("Validate() error=%v, want ok=%v", gotErr, tc.ok)
+			}
+			defer func() {
+				if r := recover(); (r == nil) != tc.ok {
+					t.Fatalf("WithRule panic=%v, want ok=%v", r, tc.ok)
+				}
+			}()
+			fault.NewPlan(1).WithRule(tc.rule)
+		})
+	}
+}
+
+// Corruption kinds are class-gated: BitRot on reads, the write corruptions
+// on writes, and the decision carries the kind for the store layer.
+func TestCorruptionKinds(t *testing.T) {
+	for _, k := range []fault.Kind{fault.TornWrite, fault.MisdirectedWrite, fault.LostWrite} {
+		inj := fault.NewPlan(1).WithRule(fault.Rule{Kind: k, Rate: 1}).Injector("d")
+		if d := inj.Decide(fault.ClassWrite); !d.HasCorrupt || d.Corrupt != k {
+			t.Fatalf("%v on write: %+v", k, d)
+		}
+		if d := inj.Decide(fault.ClassRead); d.Faulty() {
+			t.Fatalf("%v must not hit reads: %+v", k, d)
+		}
+	}
+	inj := fault.NewPlan(1).WithBitRot(1, 0).Injector("d")
+	if d := inj.Decide(fault.ClassRead); !d.HasCorrupt || d.Corrupt != fault.BitRot {
+		t.Fatalf("bit-rot on read: %+v", d)
+	}
+	if d := inj.Decide(fault.ClassWrite); d.Faulty() {
+		t.Fatalf("bit-rot must not hit writes: %+v", d)
 	}
 }
 

@@ -35,6 +35,8 @@ const (
 const (
 	SCWriteFault       Status = SCTMedia | 0x80
 	SCUnrecoveredRead  Status = SCTMedia | 0x81
+	SCGuardCheck       Status = SCTMedia | 0x82
+	SCRefTagCheck      Status = SCTMedia | 0x84
 	SCCompareFailure   Status = SCTMedia | 0x85
 	SCDeallocatedRange Status = SCTMedia | 0x87
 )
@@ -74,6 +76,10 @@ func (s Status) String() string {
 		return "WriteFault"
 	case SCUnrecoveredRead:
 		return "UnrecoveredReadError"
+	case SCGuardCheck:
+		return "GuardCheckError"
+	case SCRefTagCheck:
+		return "RefTagCheckError"
 	case SCCompareFailure:
 		return "CompareFailure"
 	case SCAccessDenied:

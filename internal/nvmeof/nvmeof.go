@@ -228,6 +228,15 @@ type Initiator struct {
 	Reconnects     uint64 // outage-end events observed
 	Failures       uint64 // commands failed with SCPathError
 	StaleResponses uint64 // responses for a superseded or finished attempt
+	GuardErrors    uint64 // read replies failing protection-info verification
+
+	verifier ReadVerifier
+}
+
+// ReadVerifier checks read replies against per-block protection info at
+// the initiator's receive boundary (satisfied by *integrity.SectorGuard).
+type ReadVerifier interface {
+	VerifySectors(sector uint64, data []byte) bool
 }
 
 // NewInitiator connects to tgt over link.
@@ -236,6 +245,10 @@ func NewInitiator(env *sim.Env, link *Link, tgt *Target) *Initiator {
 	link.OnUp(i.onLinkUp)
 	return i
 }
+
+// SetVerifier installs a protection-info verifier on the read receive
+// path (nil detaches).
+func (i *Initiator) SetVerifier(v ReadVerifier) { i.verifier = v }
 
 // Validate rejects policies that would silently misbehave rather than
 // recover: retrying a negative number of times or arming negative timers.
@@ -343,6 +356,13 @@ func (i *Initiator) finish(pe *ofPending, st nvme.Status, rdata []byte) {
 	i.unqueue(pe)
 	if pe.op == blockdev.BioRead && st.OK() {
 		copy(pe.dst, rdata)
+		if i.verifier != nil && !i.verifier.VerifySectors(pe.sector, pe.dst) {
+			// The fabric delivered data the protection info disowns:
+			// report a guard error. The payload stays in the caller's
+			// buffer for diagnosing layers (the scrubber).
+			i.GuardErrors++
+			st = nvme.SCGuardCheck
+		}
 	}
 	pe.done(st)
 }

@@ -74,6 +74,27 @@ func (b *Bucket) Take(n float64, now sim.Time) bool {
 	return true
 }
 
+// WaitTime returns how long the caller must wait before n tokens will be
+// available at the refill rate (0 when Take would already succeed). It
+// lets paced background work sleep analytically instead of polling.
+func (b *Bucket) WaitTime(n float64, now sim.Time) sim.Duration {
+	if !b.Limited() {
+		return 0
+	}
+	b.refill(now)
+	deficit := b.need(n) - b.tokens
+	if deficit <= 0 {
+		return 0
+	}
+	// Round up: a truncated wait would let the caller retry before the
+	// deficit is repaid (a Sleep(0) spin at high rates).
+	d := sim.Duration(deficit / b.rate * 1e9)
+	if float64(d)*b.rate < deficit*1e9 {
+		d++
+	}
+	return d
+}
+
 // Level returns the current fill fraction in [0, 1] (1 for unlimited
 // buckets — an unenforced bucket is never the bottleneck; 0 while a
 // deficit from an oversized charge is being repaid).

@@ -89,14 +89,25 @@ type Config struct {
 	RateAlpha float64
 }
 
+// DefaultClassCost returns the default service-cost multiplier for a
+// class — the values an unset Config.ClassCost falls back to. Background
+// subsystems (e.g. the scrubber) use it to charge their own token buckets
+// consistently with the arbiter's view of scavenger work.
+func DefaultClassCost(c Class) float64 {
+	def := [NumClasses]float64{1, 0.5, 2, 8}
+	if int(c) < len(def) {
+		return def[c]
+	}
+	return 1
+}
+
 func (c Config) withDefaults() Config {
 	if c.BytesPerUnit <= 0 {
 		c.BytesPerUnit = 4096
 	}
-	def := [NumClasses]float64{1, 0.5, 2, 8}
-	for i, m := range c.ClassCost {
-		if m <= 0 {
-			c.ClassCost[i] = def[i]
+	for i := range c.ClassCost {
+		if c.ClassCost[i] <= 0 {
+			c.ClassCost[i] = DefaultClassCost(Class(i))
 		}
 	}
 	if c.Window <= 0 {

@@ -4,6 +4,7 @@ import (
 	"nvmetro/internal/blockdev"
 	"nvmetro/internal/core"
 	"nvmetro/internal/device"
+	"nvmetro/internal/integrity"
 	"nvmetro/internal/nvmeof"
 	"nvmetro/internal/qos"
 	"nvmetro/internal/sgx"
@@ -33,8 +34,28 @@ type NVMetro struct {
 	byCacher   map[*core.Controller]*storfn.Cacher
 	byCacheSup map[*core.Controller]*storfn.CacherSupervision
 	bySup      map[*core.Controller]*supervise.Supervisor
+	byRepl     map[*core.Controller]*replParts
+	byInteg    map[*core.Controller]*integWiring
 	qosCfg     *qos.Config
 	supPol     *supervise.Policy
+	integCfg   *integrity.ScrubConfig
+	xform      bool // the UIF transforms data (encryption): device bytes != guest bytes
+}
+
+// replParts records the replication plumbing of one controller so the
+// integrity layer can guard the fan-out and scrub the mirror.
+type replParts struct {
+	rep *storfn.Replicator
+	att *uif.Attachment
+	sec blockdev.BlockDevice
+	fn  *storfn.ReplicatorSupervision // nil unless supervised
+}
+
+// integWiring is one controller's end-to-end integrity state.
+type integWiring struct {
+	dom *integrity.Domain
+	scr *integrity.Scrubber
+	rs  *storfn.Resyncer
 }
 
 // NewNVMetro creates the basic configuration.
@@ -168,7 +189,118 @@ func (s *NVMetro) Provision(v *vm.VM, part device.Partition) vm.Disk {
 			panic(err)
 		}
 	}
+	if s.integCfg != nil {
+		s.wireIntegrity(vc)
+	}
 	return vm.NewNVMeDisk(v, vc, 128, s.h.Params.Driver)
+}
+
+// WithIntegrity enables end-to-end data integrity on every VM provisioned
+// afterwards: a per-controller PI domain stamped at the mediation point and
+// verified at the guest completion boundary, the blockdev and fabric read
+// completions, the cache serve/fill path and the replica fan-out, plus a
+// background scrubber with the given policy. Composes with the base,
+// replication and cache configurations; under encryption only the guest
+// boundary is guarded (device bytes are ciphertext, so below-UIF boundaries
+// have no plaintext expectation to check and scrubbing is skipped).
+func (s *NVMetro) WithIntegrity(cfg integrity.ScrubConfig) *NVMetro {
+	s.integCfg = &cfg
+	if s.byInteg == nil {
+		s.byInteg = make(map[*core.Controller]*integWiring)
+	}
+	return s
+}
+
+// wireIntegrity builds one controller's PI domain, attaches a guard to
+// every boundary the active configuration exposes, and starts its scrubber.
+func (s *NVMetro) wireIntegrity(vc *core.Controller) {
+	part := vc.Partition()
+	dom, err := integrity.NewDomain(part.Dev.Params().BlockSize())
+	if err != nil {
+		panic(err)
+	}
+	w := &integWiring{dom: dom}
+	s.byInteg[vc] = w
+	vc.SetGuard(dom.Guard("guest"))
+	if s.xform {
+		return // ciphertext below the UIF: no device-side expectation
+	}
+	shift := part.Dev.Params().LBAShift
+
+	// The scrub leg: a dedicated host queue pair onto the same device,
+	// verifying read completions like any kernel-path consumer would.
+	bdev := blockdev.NewNVMeBlockDev(s.h.Env, device.WholeNamespace(part.Dev, part.NSID), s.h.CPU, s.h.guestCores, s.h.Params.Block)
+	bdev.SetVerifier(&integrity.SectorGuard{G: dom.Guard("blockdev"), Size: blockdev.SectorSize})
+	scr, err := integrity.NewScrubber(s.h.Env, dom, bdev, s.h.HostThread("scrub"), shift, *s.integCfg)
+	if err != nil {
+		panic(err)
+	}
+	w.scr = scr
+
+	if c := s.cacherOf(vc); c != nil {
+		c.Guard = dom.Guard("cache")
+		scr.SetCache(c.Cache())
+	}
+	if rp := s.byRepl[vc]; rp != nil {
+		rp.rep.Guard = dom.Guard("replica")
+		if ini, ok := rp.sec.(*nvmeof.Initiator); ok {
+			ini.SetVerifier(&integrity.SectorGuard{G: dom.Guard("fabric"), Size: blockdev.SectorSize})
+		}
+		rs, err := storfn.NewResyncer(s.h.Env, rp.rep, bdev, rp.att, s.h.HostThread("resync"), shift, storfn.DefaultResyncConfig())
+		if err != nil {
+			panic(err)
+		}
+		w.rs = rs
+		if rp.fn != nil {
+			rp.fn.SetResyncer(rs)
+		}
+		scr.SetReplica(rp.rep, rs, rp.att)
+	}
+}
+
+// cacherOf returns the current cache UIF generation for vc, if any.
+func (s *NVMetro) cacherOf(vc *core.Controller) *storfn.Cacher {
+	if cs := s.byCacheSup[vc]; cs != nil {
+		return cs.Cacher()
+	}
+	return s.byCacher[vc]
+}
+
+// IntegrityDomainFor returns the PI domain wired for v's controller, or
+// nil when WithIntegrity is not configured.
+func (s *NVMetro) IntegrityDomainFor(v *vm.VM) *integrity.Domain {
+	if w := s.byInteg[s.byVM[v]]; w != nil {
+		return w.dom
+	}
+	return nil
+}
+
+// ScrubberFor returns the background scrubber wired for v's controller, or
+// nil when WithIntegrity is not configured (or the configuration has no
+// device-side expectation to scrub).
+func (s *NVMetro) ScrubberFor(v *vm.VM) *integrity.Scrubber {
+	if w := s.byInteg[s.byVM[v]]; w != nil {
+		return w.scr
+	}
+	return nil
+}
+
+// ResyncerFor returns the mirror-consistency engine created for v's
+// replicated, integrity-wired controller (nil otherwise).
+func (s *NVMetro) ResyncerFor(v *vm.VM) *storfn.Resyncer {
+	if w := s.byInteg[s.byVM[v]]; w != nil {
+		return w.rs
+	}
+	return nil
+}
+
+// ReplicatorFor returns the replication state for v's controller, or nil
+// when WithReplication is not configured.
+func (s *NVMetro) ReplicatorFor(v *vm.VM) *storfn.Replicator {
+	if rp := s.byRepl[s.byVM[v]]; rp != nil {
+		return rp.rep
+	}
+	return nil
 }
 
 // WithEncryption configures the transparent-encryption storage function:
@@ -180,6 +312,7 @@ func (s *NVMetro) WithEncryption(key []byte, useSGX bool) *NVMetro {
 	if useSGX {
 		s.name = "NVMetro SGX"
 	}
+	s.xform = true
 	s.setup = func(vc *core.Controller) {
 		part := vc.Partition()
 		bdev := blockdev.NewNVMeBlockDev(s.h.Env, device.WholeNamespace(part.Dev, part.NSID), s.h.CPU, s.h.guestCores, s.h.Params.Block)
@@ -220,19 +353,26 @@ func (s *NVMetro) WithEncryption(key []byte, useSGX bool) *NVMetro {
 // the remote block device backing a given local partition.
 func (s *NVMetro) WithReplication(secondary func(part device.Partition) blockdev.BlockDevice) *NVMetro {
 	s.name = "NVMetro Repl."
+	if s.byRepl == nil {
+		s.byRepl = make(map[*core.Controller]*replParts)
+	}
 	s.setup = func(vc *core.Controller) {
 		part := vc.Partition()
-		ring := blockdev.NewURing(s.h.Env, secondary(part), s.h.Params.URing)
+		sec := secondary(part)
+		ring := blockdev.NewURing(s.h.Env, sec, s.h.Params.URing)
+		rep := storfn.NewReplicator()
 		if s.supPol != nil {
-			s.launchSupervised(vc, s.framework(1), ring,
-				storfn.NewReplicatorSupervision(part, storfn.NewReplicator()))
+			fn := storfn.NewReplicatorSupervision(part, rep)
+			sup := s.launchSupervised(vc, s.framework(1), ring, fn)
+			s.byRepl[vc] = &replParts{rep: rep, att: sup.Attachment(), sec: sec, fn: fn}
 			return
 		}
 		prog, _ := storfn.ReplicatorClassifier(part)
 		if err := vc.LoadClassifier(prog); err != nil {
 			panic(err)
 		}
-		s.framework(1).Attach(vc.AttachUIF(512), storfn.NewReplicator(), ring)
+		att := s.framework(1).Attach(vc.AttachUIF(512), rep, ring)
+		s.byRepl[vc] = &replParts{rep: rep, att: att, sec: sec}
 	}
 	return s
 }

@@ -144,12 +144,19 @@ type Cacher struct {
 	// CopyRate models guest-memory copies (bytes/sec).
 	CopyRate float64
 
+	// Guard, when set, verifies protection info at the cache's two trust
+	// boundaries: a hit is never served from a cached copy that fails
+	// verification (it is invalidated and refilled), and a fill is never
+	// committed from backing data that fails verification.
+	Guard BlockVerifier
+
 	// Per-path UIF service latency (request arrival at the UIF to guest
 	// completion, ns): hits, miss fills and writes.
 	HitLat, FillLat, WriteLat *metrics.Histogram
 
 	// Stats (request granularity; the cache's own counters are per block).
 	ReqHits, ReqFills, ReqWrites, FillErrors uint64
+	GuardErrors                              uint64 // failed verifications at either boundary
 }
 
 // NewCacher builds the UIF around a cache sized by p. Evictions feed back
@@ -209,13 +216,19 @@ func (c *Cacher) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, nvme
 	case nvme.OpRead:
 		buf := make([]byte, n)
 		if c.cache.Read(lba, blocks, buf) {
-			th.Exec(p, c.copyCost(n))
-			if err := req.WriteData(buf); err != nil {
-				return false, nvme.SCDataXferError
+			if c.Guard == nil || c.Guard.Verify(lba, buf) {
+				th.Exec(p, c.copyCost(n))
+				if err := req.WriteData(buf); err != nil {
+					return false, nvme.SCDataXferError
+				}
+				c.ReqHits++
+				c.HitLat.Record(int64(c.env.Now() - start))
+				return false, nvme.SCSuccess
 			}
-			c.ReqHits++
-			c.HitLat.Record(int64(c.env.Now() - start))
-			return false, nvme.SCSuccess
+			// The cached copy fails verification: drop it and refill
+			// from the backing store instead of serving it.
+			c.GuardErrors++
+			c.cache.Invalidate(lba, blocks)
 		}
 		fill := c.cache.BeginFill(lba, blocks)
 		req.SubmitBackendReadThen(p, th, buf, func(p *sim.Proc, th *sim.Thread, st nvme.Status) {
@@ -223,6 +236,12 @@ func (c *Cacher) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, nvme
 				c.cache.AbortFill(fill)
 				c.FillErrors++
 				req.CompleteAsync(st)
+				return
+			}
+			if c.Guard != nil && !c.Guard.Verify(lba, buf) {
+				c.GuardErrors++
+				c.cache.AbortFill(fill)
+				req.CompleteAsync(nvme.SCGuardCheck)
 				return
 			}
 			th.Exec(p, c.copyCost(n))
@@ -241,6 +260,10 @@ func (c *Cacher) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, nvme
 		buf := make([]byte, n)
 		if err := req.ReadData(buf); err != nil {
 			return false, nvme.SCDataXferError
+		}
+		if c.Guard != nil && !c.Guard.Verify(lba, buf) {
+			c.GuardErrors++
+			return false, nvme.SCGuardCheck
 		}
 		th.Exec(p, c.copyCost(n))
 		w := c.cache.BeginWrite(lba, blocks)
@@ -309,12 +332,16 @@ func (c *CachedReplicator) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (
 	case nvme.OpRead:
 		buf := make([]byte, n)
 		if c.Cache.Read(lba, blocks, buf) {
-			th.Exec(p, c.copyCost(n))
-			if err := req.WriteData(buf); err != nil {
-				return false, nvme.SCDataXferError
+			if c.Guard == nil || c.Guard.Verify(lba, buf) {
+				th.Exec(p, c.copyCost(n))
+				if err := req.WriteData(buf); err != nil {
+					return false, nvme.SCDataXferError
+				}
+				c.ReqHits++
+				return false, nvme.SCSuccess
 			}
-			c.ReqHits++
-			return false, nvme.SCSuccess
+			c.GuardErrors++
+			c.Cache.Invalidate(lba, blocks)
 		}
 		fill := c.Cache.BeginFill(lba, blocks)
 		c.Primary.SubmitBio(p, th, &blockdev.Bio{
@@ -324,6 +351,12 @@ func (c *CachedReplicator) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (
 					if !st.OK() {
 						c.Cache.AbortFill(fill)
 						req.CompleteAsync(st)
+						return
+					}
+					if c.Guard != nil && !c.Guard.Verify(lba, buf) {
+						c.GuardErrors++
+						c.Cache.AbortFill(fill)
+						req.CompleteAsync(nvme.SCGuardCheck)
 						return
 					}
 					th.Exec(p, c.copyCost(n))
@@ -343,6 +376,10 @@ func (c *CachedReplicator) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (
 		buf := make([]byte, n)
 		if err := req.ReadData(buf); err != nil {
 			return false, nvme.SCDataXferError
+		}
+		if c.Guard != nil && !c.Guard.Verify(lba, buf) {
+			c.GuardErrors++
+			return false, nvme.SCGuardCheck
 		}
 		th.Exec(p, c.copyCost(n))
 		c.Forwarded++

@@ -25,6 +25,12 @@ type Replicator struct {
 	// Dirty is the set of guest LBA ranges whose secondary copy is stale.
 	Dirty DirtyRegions
 
+	// Guard, when set, verifies the payload pulled from guest memory
+	// against its protection info before it is fanned out to the mirror:
+	// a payload corrupted between stamping and forwarding must not
+	// propagate to the replica.
+	Guard BlockVerifier
+
 	// resync, when attached (NewResyncer), observes secondary-leg
 	// outcomes to drive the mirror-consistency state machine.
 	resync *Resyncer
@@ -33,6 +39,13 @@ type Replicator struct {
 	Forwarded       uint64
 	Degraded        uint64 // guest writes acknowledged from the primary alone
 	SecondaryErrors uint64 // non-OK secondary-leg completions observed
+	GuardErrors     uint64 // payloads failing protection-info verification
+}
+
+// BlockVerifier checks a payload against per-block protection info,
+// keyed by device-absolute LBA (satisfied by *integrity.Guard).
+type BlockVerifier interface {
+	Verify(lba uint64, data []byte) bool
 }
 
 // NewReplicator creates the mirroring UIF.
@@ -50,8 +63,21 @@ func (r *Replicator) Work(p *sim.Proc, th *sim.Thread, req *uif.Request) (bool, 
 		return false, nvme.SCDataXferError
 	}
 	th.Exec(p, sim.Duration(float64(n)/r.CopyRate*1e9))
-	r.Forwarded++
 	lba, blocks := req.Cmd.SLBA(), uint64(req.Cmd.Blocks())
+	if r.Guard != nil && !r.Guard.Verify(lba, buf) {
+		// The payload no longer matches its protection info: either it was
+		// corrupted between stamping and forwarding, or a racing guest
+		// write re-stamped the range after this payload was captured. Both
+		// are indistinguishable here and neither may fail the guest write
+		// (the primary leg carries the stamped data) — mark the range
+		// dirty so resync re-copies it from the verified primary.
+		r.GuardErrors++
+		r.Dirty.Add(lba, blocks)
+		if r.resync != nil {
+			r.resync.noteSecondaryFailure(lba, blocks)
+		}
+	}
+	r.Forwarded++
 	req.SubmitBackendWriteThen(p, th, buf, func(p *sim.Proc, th *sim.Thread, st nvme.Status) {
 		if !st.OK() {
 			// Degraded mode: the primary write (fast path) carries the

@@ -213,6 +213,18 @@ func (rs *Resyncer) Trigger() {
 	rs.kick.Signal(nil)
 }
 
+// NoteDivergence records externally detected secondary divergence (the
+// integrity scrubber's cross-check): the range is re-dirtied and a mirror
+// that believed itself in sync drops to Degraded so a following Trigger
+// can drain the repair. During an active pass the normal re-dirty rules
+// apply — the range is simply picked up before the pass completes.
+func (rs *Resyncer) NoteDivergence(lba, blocks uint64) {
+	rs.rep.Dirty.Add(lba, blocks)
+	if rs.state == StateInSync {
+		rs.setState(StateDegraded)
+	}
+}
+
 // OnLinkUp is the fabric-recovery hook: register it with the NVMe-oF
 // initiator (Initiator.OnReconnect) so a closing outage window starts the
 // drain as soon as the initiator has requeued its own in-flight commands.

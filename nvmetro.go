@@ -25,6 +25,7 @@ import (
 	"nvmetro/internal/fault"
 	"nvmetro/internal/fio"
 	"nvmetro/internal/harness"
+	"nvmetro/internal/integrity"
 	"nvmetro/internal/metrics"
 	"nvmetro/internal/qos"
 	"nvmetro/internal/sim"
@@ -101,6 +102,25 @@ type (
 	FaultInjector = fault.Injector
 	// CounterSet is an insertion-ordered bag of named counters.
 	CounterSet = metrics.CounterSet
+
+	// Store is the simulated SSD's backing byte store.
+	Store = device.Store
+	// MemStore is the content-keeping backing store (required for
+	// data-integrity work).
+	MemStore = device.MemStore
+	// ScrubConfig tunes the background integrity scrubber (pacing, chunking,
+	// recheck window).
+	ScrubConfig = integrity.ScrubConfig
+	// Scrubber is the background scrub engine of a protected attachment.
+	Scrubber = integrity.Scrubber
+	// IntegrityDomain holds per-block protection info (CRC + generation)
+	// and the quarantine set for one protected attachment.
+	IntegrityDomain = integrity.Domain
+	// CorruptingStore wraps a Store with deterministic silent-corruption
+	// injection (bit rot, torn/misdirected/lost writes).
+	CorruptingStore = integrity.CorruptingStore
+	// Resyncer drives dirty-region replica resynchronization.
+	Resyncer = storfn.Resyncer
 )
 
 // Convenient duration units (virtual time).
@@ -133,6 +153,9 @@ type Config struct {
 	// full contents (required for data-integrity work), BackingNull is the
 	// cheapest for pure benchmarking.
 	Backing device.BackingMode
+	// Store, when non-nil, overrides Backing with an explicit backing store
+	// — e.g. a CorruptingStore for silent-corruption experiments.
+	Store Store
 	// Params exposes every calibration constant.
 	Params stack.Params
 }
@@ -159,7 +182,11 @@ type System struct {
 // NewSystem builds a testbed.
 func NewSystem(cfg Config) *System {
 	env := sim.New(cfg.Seed)
-	h := stack.NewHost(env, cfg.Cores, cfg.GuestCores, cfg.Params, device.NewStore(cfg.Backing, cfg.Params.Device.BlockSize()))
+	backing := cfg.Store
+	if backing == nil {
+		backing = device.NewStore(cfg.Backing, cfg.Params.Device.BlockSize())
+	}
+	h := stack.NewHost(env, cfg.Cores, cfg.GuestCores, cfg.Params, backing)
 	return &System{Env: env, Host: h, cfg: cfg}
 }
 
@@ -286,6 +313,59 @@ func (s *System) AttachReplicatedSupervised(v *VM, part Partition, remote *Remot
 	sol := stack.NewNVMetro(s.Host).WithReplication(remote.Secondary()).WithSupervision(pol)
 	disk := sol.Provision(v, part)
 	return &AttachedDisk{VM: v, Disk: disk}, sol.SupervisorFor(v)
+}
+
+// DefaultScrubConfig returns the calibrated background-scrub policy.
+func DefaultScrubConfig() ScrubConfig { return integrity.DefaultScrubConfig() }
+
+// NewMemStore creates a content-keeping backing store for integrity work.
+func NewMemStore(blockSize uint32) *MemStore { return device.NewMemStore(blockSize) }
+
+// NewCorruptingStore wraps inner with deterministic silent-corruption
+// injection driven by the plan's rules for the given site. blocks bounds
+// where misdirected writes may land.
+func NewCorruptingStore(inner Store, plan *FaultPlan, site string, blockSize uint32, blocks uint64) *CorruptingStore {
+	return integrity.NewCorruptingStore(inner, plan, site, blockSize, blocks)
+}
+
+// ProtectedDisk bundles an integrity-protected attachment's handles: the
+// disk plus its protection-info domain, background scrubber and (for
+// replicated attachments) the resync engine.
+type ProtectedDisk struct {
+	*AttachedDisk
+	Scrubber *Scrubber
+	Domain   *IntegrityDomain
+	Resyncer *Resyncer // nil without replication
+}
+
+// AttachProtected provisions an NVMetro disk with end-to-end block
+// protection info: writes are stamped at the mediation point, reads are
+// verified at every trust boundary, and the returned Scrubber cross-
+// checks stored content in the background, quarantining damage it cannot
+// repair (no replica to repair from).
+func (s *System) AttachProtected(v *VM, part Partition, cfg ScrubConfig) *ProtectedDisk {
+	sol := stack.NewNVMetro(s.Host).WithIntegrity(cfg)
+	disk := sol.Provision(v, part)
+	return &ProtectedDisk{
+		AttachedDisk: &AttachedDisk{VM: v, Disk: disk, Ctrl: sol.ControllerFor(v)},
+		Scrubber:     sol.ScrubberFor(v),
+		Domain:       sol.IntegrityDomainFor(v),
+	}
+}
+
+// AttachReplicatedProtected is AttachProtected over the live-replication
+// storage function: the scrubber additionally cross-checks primary
+// against replica and repairs damaged primary blocks from the in-sync
+// mirror via targeted resync.
+func (s *System) AttachReplicatedProtected(v *VM, part Partition, remote *RemoteHost, cfg ScrubConfig) *ProtectedDisk {
+	sol := stack.NewNVMetro(s.Host).WithReplication(remote.Secondary()).WithIntegrity(cfg)
+	disk := sol.Provision(v, part)
+	return &ProtectedDisk{
+		AttachedDisk: &AttachedDisk{VM: v, Disk: disk, Ctrl: sol.ControllerFor(v)},
+		Scrubber:     sol.ScrubberFor(v),
+		Domain:       sol.IntegrityDomainFor(v),
+		Resyncer:     sol.ResyncerFor(v),
+	}
 }
 
 // Baseline names accepted by AttachBaseline.
