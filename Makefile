@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test fmt bench bench-smoke chaos-smoke scrub-smoke
+.PHONY: check build vet test fmt bench bench-smoke chaos-smoke scrub-smoke bootstorm-smoke
 
 # check is the CI gate: build, vet, race-enabled tests, gofmt cleanliness
-# (fails listing the offending files), the short-seed chaos suite and the
-# short-seed integrity/scrub suite.
-check: build vet test fmt chaos-smoke scrub-smoke
+# (fails listing the offending files), the short-seed chaos suite, the
+# short-seed integrity/scrub suite and the short-seed boot-storm suite.
+check: build vet test fmt chaos-smoke scrub-smoke bootstorm-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkClassifierSuite' -benchtime 1x ./internal/storfn/
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterHop' -benchtime 1x ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkArbiter' -benchtime 1x ./internal/qos/
+	$(GO) test -run '^$$' -bench 'BenchmarkClone|BenchmarkCow' -benchtime 1x ./internal/cow/
 
 # chaos-smoke runs the UIF supervision suite under the race detector: the
 # watchdog/reconcile unit tests, the per-function crash/wedge recovery
@@ -49,3 +50,12 @@ chaos-smoke:
 scrub-smoke:
 	$(GO) test -race ./internal/integrity/
 	$(GO) test -race -run 'TestScrub' ./internal/harness/
+
+# bootstorm-smoke runs the snapshot/clone suite under the race detector:
+# the cow layer's model-based and property tests, the stack-level clone
+# round trip through the router fast path, and the small-fleet boot-storm
+# experiment (shared-vs-flat table, clone-cost flatness, determinism).
+bootstorm-smoke:
+	$(GO) test -race ./internal/cow/
+	$(GO) test -race -run 'TestClone' ./internal/stack/
+	$(GO) test -race -short -run 'TestBootStorm' ./internal/harness/

@@ -11,6 +11,13 @@
 //	nvmetroctl qos [-vms 3] [-duration 20ms]
 //	nvmetroctl chaos [-function encryption] [-fault crash] [-duration 20ms]
 //	nvmetroctl scrub [-fault bitrot] [-replica=false] [-duration 20ms]
+//	nvmetroctl snap [-vms 8] [-image 16] [-duration 20ms]
+//
+// The snap subcommand seals a golden image, clones one namespace per
+// tenant VM from it, drives the read-mostly boot-storm profile and dumps
+// the snapshot/clone view: the sealed layer chain with per-layer refcounts,
+// shared-index dedup and cache counters, and per-tenant CoW-break and
+// divergence state.
 //
 // The qos subcommand brings up multiple tenants with different QoS
 // contracts on one shared router worker, drives a contended workload and
@@ -51,6 +58,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "scrub" {
 		scrubCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "snap" {
+		snapCmd(os.Args[2:])
 		return
 	}
 	var (
@@ -320,6 +331,79 @@ func scrubCmd(args []string) {
 		for _, r := range qr {
 			fmt.Printf("  [%d, +%d blocks)\n", r.LBA, r.Blocks)
 		}
+	}
+}
+
+// snapCmd is the `nvmetroctl snap` subcommand: golden-image clones under a
+// boot-storm workload, then the operator view of the snapshot layer.
+func snapCmd(args []string) {
+	fs := flag.NewFlagSet("snap", flag.ExitOnError)
+	var (
+		nvms  = fs.Int("vms", 8, "number of tenant VMs cloned from the image")
+		image = fs.Int("image", 16, "golden image size in MiB")
+		dur   = fs.Duration("duration", 20*time.Millisecond, "virtual measurement window")
+		seed  = fs.Int64("seed", 1, "simulation seed")
+	)
+	fs.Parse(args)
+
+	cfg := nvmetro.Defaults()
+	cfg.Seed = *seed
+	cfg.GuestCores = *nvms
+	cfg.Cores = *nvms + 8
+	sys := nvmetro.NewSystem(cfg)
+	defer sys.Close()
+
+	bs := cfg.Params.Device.BlockSize()
+	blocks := uint64(*image) << 20 / uint64(bs)
+	img := sys.NewGoldenImage(blocks, blocks/128) // cache ~ half the image's chunks
+	payload := make([]byte, blocks*uint64(bs))
+	for i := range payload {
+		payload[i] = byte(i*131 + i>>9)
+	}
+	img.Master().WriteBlocks(0, payload)
+	img.Seal()
+	fmt.Printf("host: %d cores; golden image %d MiB sealed (%d chunks, base CRC %08x)\n",
+		cfg.Cores, *image, img.Index().Chunks(), img.BaseCRC())
+
+	var disks []*nvmetro.ClonedDisk
+	var targets []nvmetro.FIOTarget
+	for i := 0; i < *nvms; i++ {
+		v := sys.NewVM(1, 16<<20)
+		d := sys.AttachCloned(v, img)
+		disks = append(disks, d)
+		targets = append(targets, d.Targets(1)...)
+		fmt.Printf("vm%d: cloned namespace %d attached (0 chunks copied)\n",
+			i, d.Ctrl.Partition().NSID)
+	}
+
+	fc := nvmetro.BootProfile(2*nvmetro.Millisecond, nvmetro.Duration(dur.Nanoseconds()))
+	fc.WorkSet = uint64(*image) << 20
+	fmt.Printf("\nrunning boot profile (read-mostly shared zipf) over %d clone(s)...\n", *nvms)
+	res := sys.RunFIO(fc, targets)
+	fmt.Printf("\nresults: %.1f kIOPS, p50=%.1fus p99=%.1fus, guest errors=%d\n",
+		res.KIOPS(), float64(res.Lat.Median())/1e3, float64(res.Lat.P99())/1e3, res.Errors)
+
+	fmt.Println("\nlayer chain (bottom to top):")
+	fmt.Printf("  %-6s %8s %10s %6s %10s\n", "seq", "chunks", "whiteouts", "refs", "crc")
+	for _, li := range img.Master().LayerInfos() {
+		fmt.Printf("  %-6d %8d %10d %6d   %08x\n", li.Seq, li.Chunks, li.Whiteouts, li.Refs, li.CRC)
+	}
+
+	var cs nvmetro.CounterSet
+	img.Collect(&cs)
+	var breaks, diverged uint64
+	for i, d := range disks {
+		d.Store.Collect(fmt.Sprintf("cow.vm%d.", i), &cs)
+		breaks += d.Store.CowBreaks
+		if d.Store.DivergenceCRC() != 0 {
+			diverged++
+		}
+	}
+	fmt.Printf("\ntenants: %d/%d diverged from the image, %d CoW breaks, base CRC still %08x\n",
+		diverged, uint64(*nvms), breaks, img.BaseCRC())
+	fmt.Println("\nsnapshot counters:")
+	for _, name := range cs.Names() {
+		fmt.Printf("  %-32s %d\n", name, cs.Get(name))
 	}
 }
 

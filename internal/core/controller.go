@@ -684,6 +684,10 @@ func (w *worker) dispatchHQ(h hop) {
 	vq.htags[htag] = h
 	cmd := req.cmd
 	cmd.SetCID(htag)
+	// The guest driver always addresses NSID 1 of its virtual controller;
+	// the attachment's partition says which device namespace that maps to
+	// (clone namespaces sit at NSID >= 2).
+	cmd.SetNSID(vc.part.NSID)
 	if !vq.hqp.SQ.Push(&cmd) {
 		// Backpressure, not a panic: undo the tag grab and retry on the
 		// next worker iteration, exactly like the full-before-check case.

@@ -140,6 +140,16 @@ func (d *Device) AddNamespace(id uint32, blocks uint64, store Store) *Namespace 
 // Namespace returns namespace id, or nil.
 func (d *Device) Namespace(id uint32) *Namespace { return d.ns[id] }
 
+// NextNSID returns the lowest unused namespace ID — where the snapshot
+// layer attaches the next clone.
+func (d *Device) NextNSID() uint32 {
+	id := uint32(1)
+	for d.ns[id] != nil {
+		id++
+	}
+	return id
+}
+
 // Identify returns the controller identify page contents.
 func (d *Device) Identify() nvme.ControllerInfo {
 	return nvme.ControllerInfo{

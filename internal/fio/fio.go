@@ -61,6 +61,32 @@ type Config struct {
 	// s (> 1; fio's random_distribution=zipf:s). 0 keeps uniform offsets.
 	// Low slot numbers are hottest, so the hot set sits at region start.
 	Zipf float64
+	// SharedOffsets makes every job address the same region (the first
+	// WorkSet bytes of its disk) instead of splitting the region between
+	// jobs — the boot-storm shape, where each tenant's disk is a clone of
+	// one image and tenants read the same guest offsets.
+	SharedOffsets bool
+	// WritePct overrides the read/write split of the RandRW/SeqRW modes:
+	// the percentage of operations that are writes (0 keeps the default
+	// 50/50; RandRead/RandWrite-style modes ignore it).
+	WritePct int
+}
+
+// BootProfile is the read-mostly boot-storm workload: every tenant walks
+// the same guest offsets of its cloned image with a zipfian hot set (boot
+// files), a small fraction of writes (logs, state) providing the CoW
+// divergence, at 4 KiB with a modest queue depth.
+func BootProfile(warmup, duration sim.Duration) Config {
+	return Config{
+		Mode:          RandRW,
+		BlockSize:     4096,
+		QD:            4,
+		Warmup:        warmup,
+		Duration:      duration,
+		Zipf:          1.2,
+		SharedOffsets: true,
+		WritePct:      5,
+	}
 }
 
 func (c Config) String() string {
@@ -147,12 +173,21 @@ func RunMixed(env *sim.Env, cpu *sim.CPU, groups []Group) []Result {
 		for i, t := range targets {
 			blocksPer := cfg.WorkSet / uint64(t.Disk.BlockSize())
 			total := t.Disk.Blocks()
-			if blocksPer*uint64(len(targets)) > total {
+			regionLB := uint64(i) * blocksPer
+			if cfg.SharedOffsets {
+				// Every job addresses the same leading extent of its own
+				// disk (tenant disks are clones of one image).
+				if blocksPer > total {
+					blocksPer = total
+				}
+				regionLB = 0
+			} else if blocksPer*uint64(len(targets)) > total {
 				blocksPer = total / uint64(len(targets))
+				regionLB = uint64(i) * blocksPer
 			}
 			j := &job{
 				cfg: cfg, t: t, env: env, idx: idx,
-				regionLB: uint64(i) * blocksPer,
+				regionLB: regionLB,
 				regionNB: blocksPer,
 				comp:     sim.NewCond(env),
 				measFrom: measFrom,
@@ -236,6 +271,12 @@ func (j *job) nextOp() vm.Op {
 	case RandWrite, SeqWrite:
 		return vm.OpWrite
 	default:
+		if pct := j.cfg.WritePct; pct > 0 {
+			if j.env.Rand().Intn(100) < pct {
+				return vm.OpWrite
+			}
+			return vm.OpRead
+		}
 		if j.env.Rand().Intn(2) == 0 {
 			return vm.OpRead
 		}

@@ -167,3 +167,51 @@ func TestZipfSkewsOffsets(t *testing.T) {
 		t.Fatalf("zipf skew too weak: %.2f of accesses in the hottest 1%%", frac)
 	}
 }
+
+func TestSharedOffsetsOverlapRegions(t *testing.T) {
+	env, cpu, v := bed()
+	defer env.Close()
+	d := &instantDisk{env: env, latency: 10 * sim.Microsecond}
+	d2 := &instantDisk{env: env, latency: 10 * sim.Microsecond}
+	fio.Run(env, cpu, []fio.Target{
+		{Disk: d, VM: v, VCPU: v.VCPU(0)},
+		{Disk: d2, VM: v, VCPU: v.VCPU(1)},
+	}, fio.Config{Mode: fio.SeqRead, BlockSize: 4096, QD: 1, SharedOffsets: true,
+		Warmup: 0, Duration: 2 * sim.Millisecond})
+	// Both jobs walk the same guest offsets of their own disks: identical
+	// region starts, unlike the disjoint default.
+	if d.lbas[0] != d2.lbas[0] {
+		t.Fatalf("shared-offset jobs diverge at start: %d vs %d", d.lbas[0], d2.lbas[0])
+	}
+}
+
+func TestWritePctSkewsMix(t *testing.T) {
+	env, cpu, v := bed()
+	defer env.Close()
+	d := &instantDisk{env: env, latency: 10 * sim.Microsecond}
+	fio.Run(env, cpu, []fio.Target{{Disk: d, VM: v, VCPU: v.VCPU(0)}},
+		fio.Config{Mode: fio.RandRW, BlockSize: 512, QD: 4, WritePct: 5,
+			Warmup: 0, Duration: 20 * sim.Millisecond})
+	total := d.reads + d.writes
+	frac := float64(d.writes) / float64(total)
+	if frac < 0.01 || frac > 0.12 {
+		t.Fatalf("write fraction %.3f, want ~0.05", frac)
+	}
+	if d.writes == 0 {
+		t.Fatal("no writes at all")
+	}
+}
+
+func TestBootProfileShape(t *testing.T) {
+	cfg := fio.BootProfile(0, 10*sim.Millisecond)
+	if !cfg.SharedOffsets || cfg.WritePct == 0 || cfg.Zipf <= 1 {
+		t.Fatalf("boot profile misshapen: %+v", cfg)
+	}
+	env, cpu, v := bed()
+	defer env.Close()
+	d := &instantDisk{env: env, latency: 10 * sim.Microsecond}
+	fio.Run(env, cpu, []fio.Target{{Disk: d, VM: v, VCPU: v.VCPU(0)}}, cfg)
+	if d.reads == 0 || d.reads < d.writes {
+		t.Fatalf("boot profile not read-mostly: %d reads / %d writes", d.reads, d.writes)
+	}
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestBootStormE2E is the acceptance run: 128 tenants cloned from one
+// golden image with end-to-end integrity armed, against the flat
+// per-tenant baseline under the same total cache budget.
+func TestBootStormE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boot storm E2E is a long test")
+	}
+	o := Options{Quick: true, Seed: 7}
+	const vms = 128
+	shared := runBootstorm(o, vms, bootImageBlocksQuick, bootCacheChunks, true)
+	flat := runBootstorm(o, vms, bootImageBlocksQuick, bootCacheChunks, false)
+
+	for name, r := range map[string]bootstormRun{"shared": shared, "flat": flat} {
+		if !r.drained {
+			t.Errorf("%s: outstanding guest commands not drained", name)
+		}
+		if r.guardBad != 0 {
+			t.Errorf("%s: guard_bad = %d, want 0 with integrity on", name, r.guardBad)
+		}
+		if r.res.Errors != 0 {
+			t.Errorf("%s: %d fio errors", name, r.res.Errors)
+		}
+		if !r.baseOK {
+			t.Errorf("%s: sealed golden CRCs moved under tenant writes", name)
+		}
+		if r.cloneCopies != 0 {
+			t.Errorf("%s: cloning copied %d chunks, want 0", name, r.cloneCopies)
+		}
+		if r.divergent != vms {
+			t.Errorf("%s: %d/%d tenants diverged", name, r.divergent, vms)
+		}
+		if r.distinctCRC != vms {
+			t.Errorf("%s: %d distinct tenant content CRCs, want %d", name, r.distinctCRC, vms)
+		}
+	}
+
+	// The shared regime's whole point: one tenant's miss warms every other
+	// tenant, so its hit rate must beat the flat layout's sliced caches.
+	if shared.hitRatio <= flat.hitRatio {
+		t.Errorf("shared hit ratio %.3f not above flat %.3f", shared.hitRatio, flat.hitRatio)
+	}
+	// Content-addressing: the flat fleet stores ~N copies of the image;
+	// the shared fleet stores one plus private divergence.
+	if shared.uniqChunks*8 >= flat.uniqChunks {
+		t.Errorf("unique chunks: shared %d vs flat %d — no dedup win", shared.uniqChunks, flat.uniqChunks)
+	}
+	// Checkpointing the diverged clones dedups identical cross-tenant
+	// state; flat indexes are private, so sharing is impossible there.
+	if shared.dedupHits == 0 {
+		t.Error("no cross-tenant dedup hits in the shared regime")
+	}
+}
+
+// TestBootStormCloneCostFlat pins the O(metadata) clone claim: quadrupling
+// the image size must not change the clone's layer-chain length nor make
+// cloning copy chunks.
+func TestBootStormCloneCostFlat(t *testing.T) {
+	o := Options{Quick: true, Seed: 11}
+	small := runBootstorm(o, 8, bootImageBlocksQuick, bootCacheChunks, true)
+	big := runBootstorm(o, 8, 4*bootImageBlocksQuick, bootCacheChunks, true)
+	if small.cloneLayers != big.cloneLayers {
+		t.Errorf("clone layers grew with image size: %d -> %d", small.cloneLayers, big.cloneLayers)
+	}
+	if small.cloneCopies != 0 || big.cloneCopies != 0 {
+		t.Errorf("cloning copied chunks: small=%d big=%d", small.cloneCopies, big.cloneCopies)
+	}
+}
+
+// TestBootStormDeterminism reruns one cell with the same seed and requires
+// an identical counter record — the same-seed byte-identical-CSV invariant
+// for the bootstorm table.
+func TestBootStormDeterminism(t *testing.T) {
+	o := Options{Quick: true, Seed: 3}
+	a := runBootstorm(o, 8, bootImageBlocksQuick, bootCacheChunks, true)
+	b := runBootstorm(o, 8, bootImageBlocksQuick, bootCacheChunks, true)
+	if !a.counters.Equal(&b.counters) {
+		t.Fatalf("same-seed counter records differ:\n%s\n%s", a.counters.String(), b.counters.String())
+	}
+	if a.res.Ops != b.res.Ops || a.hitRatio != b.hitRatio || a.distinctCRC != b.distinctCRC {
+		t.Fatalf("same-seed results differ: ops %d/%d hit %.6f/%.6f crcs %d/%d",
+			a.res.Ops, b.res.Ops, a.hitRatio, b.hitRatio, a.distinctCRC, b.distinctCRC)
+	}
+}
+
+// TestBootStormTableQuick renders the quick table and applies the per-row
+// acceptance bit — the smoke-level gate used by make bootstorm-smoke.
+func TestBootStormTableQuick(t *testing.T) {
+	tbl := bootstormTable(Options{Quick: true, Seed: 1})
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty bootstorm table")
+	}
+	for _, r := range tbl.Rows {
+		if ok := tbl.Cell(r.Label, "ok"); ok != 1 {
+			t.Errorf("row %q not ok", r.Label)
+		}
+		if bad := tbl.Cell(r.Label, "guard_bad"); bad != 0 {
+			t.Errorf("row %q guard_bad = %v", r.Label, bad)
+		}
+	}
+	// Shared beats flat on cache hit rate at every fleet size.
+	pairs := [][2]string{{"shared N=8", "flat N=8"}, {"shared N=16", "flat N=16"}}
+	for _, p := range pairs {
+		s, f := tbl.Cell(p[0], "hit_ratio"), tbl.Cell(p[1], "hit_ratio")
+		if s <= f {
+			t.Errorf("%s hit_ratio %.3f not above %s %.3f", p[0], s, p[1], f)
+		}
+	}
+}

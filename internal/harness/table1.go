@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"nvmetro/internal/cow"
+	"nvmetro/internal/stack"
 	"nvmetro/internal/storfn"
 	"nvmetro/internal/uif"
 )
@@ -22,6 +24,8 @@ func Table1LoC() *Table {
 	t.Add("Cache      | Classifier (eBPF asm)", float64(lc["cache-classifier"]))
 	t.Add("Cache      | UIF (Go)", float64(lc["cache-uif"]))
 	t.Add("Partition  | Classifier (eBPF asm)", float64(lc["partition-classifier"]))
+	t.Add("Snapshot   | CoW store (Go)", float64(cow.Lines()["cow-store"]))
+	t.Add("Snapshot   | Clone wiring (Go)", float64(stack.SnapshotWiringLines()))
 	t.Add("Framework  | (Go)", float64(uif.FrameworkLines()))
 	t.Notes = "Paper (Table I): classifier 32/16, UIFs 520/501/307, framework 1116 lines."
 	return t

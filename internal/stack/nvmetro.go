@@ -39,6 +39,7 @@ type NVMetro struct {
 	qosCfg     *qos.Config
 	supPol     *supervise.Policy
 	integCfg   *integrity.ScrubConfig
+	golden     *GoldenImage
 	xform      bool // the UIF transforms data (encryption): device bytes != guest bytes
 }
 

@@ -20,6 +20,7 @@ import (
 	"io"
 
 	"nvmetro/internal/core"
+	"nvmetro/internal/cow"
 	"nvmetro/internal/device"
 	"nvmetro/internal/ebpf"
 	"nvmetro/internal/fault"
@@ -121,6 +122,15 @@ type (
 	CorruptingStore = integrity.CorruptingStore
 	// Resyncer drives dirty-region replica resynchronization.
 	Resyncer = storfn.Resyncer
+
+	// GoldenImage is a sealed master image plus the content-addressed chunk
+	// index its clones share (snapshot/clone layer).
+	GoldenImage = stack.GoldenImage
+	// CowStore is one clone's writable copy-on-write view over the golden
+	// image's layer chain.
+	CowStore = cow.Store
+	// CowLayer is one immutable sealed snapshot delta.
+	CowLayer = cow.Layer
 )
 
 // Convenient duration units (virtual time).
@@ -368,6 +378,49 @@ func (s *System) AttachReplicatedProtected(v *VM, part Partition, remote *Remote
 	}
 }
 
+// NewGoldenImage creates an empty golden image of blocks logical blocks on
+// the host device's block size. cacheChunks > 0 fronts the shared chunk
+// index with a content-addressed cache (one cache line per unique chunk,
+// shared by every clone). Load content through Image.Master(), then Seal.
+func (s *System) NewGoldenImage(blocks, cacheChunks uint64) *GoldenImage {
+	return stack.NewGoldenImage(s.Host, blocks, cacheChunks)
+}
+
+// ClonedDisk bundles one tenant's clone: the attached disk plus the CoW
+// store backing its private namespace.
+type ClonedDisk struct {
+	*AttachedDisk
+	Store *CowStore
+}
+
+// AttachCloned clones the golden image onto a fresh device namespace and
+// provisions v over it with an NVMetro controller. The clone copies no
+// data: reads resolve through the image's shared layer chain (and shared
+// content cache, when configured), and the tenant's first write to any
+// chunk breaks exactly that chunk private.
+func (s *System) AttachCloned(v *VM, img *GoldenImage) *ClonedDisk {
+	sol := stack.NewNVMetro(s.Host).WithSnapshots(img)
+	disk := sol.CloneFrom(v)
+	return &ClonedDisk{
+		AttachedDisk: &AttachedDisk{VM: v, Disk: disk, Ctrl: sol.ControllerFor(v)},
+		Store:        sol.CloneStoreFor(v),
+	}
+}
+
+// AttachClonedProtected is AttachCloned with end-to-end protection info:
+// stamps and guards are per-clone (each clone has its own domain and
+// quarantine set, so one tenant's damage never leaks into another's view),
+// and PI generations survive CoW breaks because the break happens below
+// the stamped guest boundary.
+func (s *System) AttachClonedProtected(v *VM, img *GoldenImage, cfg ScrubConfig) (*ClonedDisk, *IntegrityDomain) {
+	sol := stack.NewNVMetro(s.Host).WithSnapshots(img).WithIntegrity(cfg)
+	disk := sol.CloneFrom(v)
+	return &ClonedDisk{
+		AttachedDisk: &AttachedDisk{VM: v, Disk: disk, Ctrl: sol.ControllerFor(v)},
+		Store:        sol.CloneStoreFor(v),
+	}, sol.IntegrityDomainFor(v)
+}
+
 // Baseline names accepted by AttachBaseline.
 const (
 	BaselineMDev        = "mdev"
@@ -410,6 +463,12 @@ func (s *System) NewNVMetroShared(workers int) *SharedNVMetro {
 func (s *System) AttachShared(sol *SharedNVMetro, v *VM, part Partition) *AttachedDisk {
 	disk := sol.Provision(v, part)
 	return &AttachedDisk{VM: v, Disk: disk, Ctrl: sol.ControllerFor(v)}
+}
+
+// BootProfile returns the read-mostly boot-storm workload: shared zipfian
+// offsets over a common image extent, a small write fraction.
+func BootProfile(warmup, duration Duration) FIOConfig {
+	return fio.BootProfile(warmup, duration)
 }
 
 // RunFIO executes a fio-equivalent workload and returns its results. It
