@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test fmt bench bench-smoke chaos-smoke scrub-smoke bootstorm-smoke
+.PHONY: check build vet test fmt bench bench-sim bench-smoke sim-smoke chaos-smoke scrub-smoke bootstorm-smoke
 
 # check is the CI gate: build, vet, race-enabled tests, gofmt cleanliness
 # (fails listing the offending files), the short-seed chaos suite, the
@@ -14,7 +14,7 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -25,15 +25,30 @@ fmt:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# bench-sim measures the DES kernel hot paths (event queue, process switch,
+# timers, resources) with allocation counts; results/simbench.txt holds the
+# before/after snapshot of the scheduler rewrite.
+bench-sim:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 300ms ./internal/sim/
+
 # bench-smoke compiles and runs every microbenchmark exactly once. It is a
 # CI gate against benchmarks rotting (build or runtime failures), not a
-# performance measurement; use `make bench` for numbers.
+# performance measurement; use `make bench` or `make bench-sim` for numbers.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkVMRun|BenchmarkCompile' -benchtime 1x ./internal/ebpf/
 	$(GO) test -run '^$$' -bench 'BenchmarkClassifierSuite' -benchtime 1x ./internal/storfn/
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterHop' -benchtime 1x ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkArbiter' -benchtime 1x ./internal/qos/
 	$(GO) test -run '^$$' -bench 'BenchmarkClone|BenchmarkCow' -benchtime 1x ./internal/cow/
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim/
+
+# sim-smoke is the DES-kernel gate: the scheduler and harness under the
+# race detector (property tests against the reference heap included), plus
+# the golden-CSV determinism check — every experiment with a checked-in
+# quick-mode golden must render byte-identical output.
+sim-smoke:
+	$(GO) test -race -timeout 30m ./internal/sim/... ./internal/harness/...
+	$(GO) test -run 'TestGoldenCSVs|TestShardedMatchesSerial|TestParallelMatchesSerial' ./internal/harness/
 
 # chaos-smoke runs the UIF supervision suite under the race detector: the
 # watchdog/reconcile unit tests, the per-function crash/wedge recovery

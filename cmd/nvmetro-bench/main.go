@@ -7,13 +7,18 @@
 //	nvmetro-bench -run fig3,fig4
 //	nvmetro-bench -run all -quick
 //	nvmetro-bench -run fig6 -csv out/
+//	nvmetro-bench -run fig5 -quick -cpuprofile fig5.pprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -28,6 +33,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers = flag.Int("workers", 0, "concurrent grid points (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (samples labeled per experiment)")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		traceF  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -40,6 +48,46 @@ func main() {
 			fmt.Println("\nRun with -run <id>[,<id>...] or -run all")
 		}
 		return
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // flush accumulated allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
 	}
 
 	var ids []string
@@ -61,22 +109,30 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Printf("--- running %s: %s ---\n", e.ID, e.Title)
-		tables := e.Run(opts)
+		var tables []*harness.Table
+		// Label the profile samples so `pprof -tagfocus experiment=fig5`
+		// isolates one experiment out of a multi-ID run.
+		pprof.Do(context.Background(), pprof.Labels("experiment", e.ID), func(context.Context) {
+			tables = e.Run(opts)
+		})
 		for _, tab := range tables {
 			tab.Fprint(os.Stdout)
 			if *csvDir != "" {
 				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					fatal(err)
 				}
 				path := filepath.Join(*csvDir, tab.ID+".csv")
 				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					fatal(err)
 				}
 				fmt.Printf("(csv written to %s)\n", path)
 			}
 		}
 		fmt.Printf("--- %s done in %v (wall clock) ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

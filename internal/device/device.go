@@ -65,6 +65,15 @@ type queueState struct {
 	qp   *nvme.QueuePair
 	mem  nvme.Memory // DMA context for commands on this queue
 	cond *sim.Cond   // doorbell signal
+
+	// Command hand-off to dev-cmd handler processes. Handlers start in
+	// spawn order (their start events share a timestamp and dispatch in
+	// seq order), so a FIFO pairs the i-th spawned handler with the i-th
+	// popped command — one cached closure serves every command, instead
+	// of a fresh capturing closure per spawn.
+	run      func(*sim.Proc)
+	pending  []nvme.Command
+	pendHead int
 }
 
 // Device is the simulated NVMe SSD.
@@ -79,6 +88,12 @@ type Device struct {
 	queues map[uint16]*queueState
 	nextQ  uint16
 	inj    *fault.Injector
+
+	// Reusable data-path buffers. Only valid across park-free windows:
+	// every Store.ReadBlocks fully overwrites its buffer, and the windows
+	// using these touch no simulation primitive, so no other command can
+	// interleave.
+	scratch, scratch2 []byte
 
 	// Stats
 	Reads, Writes, Others uint64
@@ -167,6 +182,7 @@ func (d *Device) CreateQueuePair(depth uint32, mem nvme.Memory) *nvme.QueuePair 
 	id := d.nextQ
 	qp := nvme.NewQueuePair(id, depth)
 	st := &queueState{qp: qp, mem: mem, cond: sim.NewCond(d.env)}
+	st.run = func(hp *sim.Proc) { d.handle(hp, st) }
 	d.queues[id] = st
 	d.env.Go(fmt.Sprintf("dev-sq%d", id), func(p *sim.Proc) { d.serveQueue(p, st) })
 	return qp
@@ -185,8 +201,8 @@ func (d *Device) serveQueue(p *sim.Proc, st *queueState) {
 	var cmd nvme.Command
 	for {
 		for st.qp.SQ.Pop(&cmd) {
-			c := cmd // copy for the handler
-			d.env.Go("dev-cmd", func(hp *sim.Proc) { d.handle(hp, st, c) })
+			st.pending = append(st.pending, cmd)
+			d.env.Go("dev-cmd", st.run)
 		}
 		st.cond.Wait()
 	}
@@ -204,7 +220,13 @@ func (d *Device) jittered(base sim.Duration) sim.Duration {
 	return base
 }
 
-func (d *Device) handle(p *sim.Proc, st *queueState, cmd nvme.Command) {
+func (d *Device) handle(p *sim.Proc, st *queueState) {
+	cmd := st.pending[st.pendHead]
+	st.pendHead++
+	if st.pendHead == len(st.pending) {
+		st.pending = st.pending[:0]
+		st.pendHead = 0
+	}
 	status := nvme.SCSuccess
 	// DW0 is command-specific in real NVMe; this controller echoes the
 	// reserved CDW3 so drivers can stamp a submission generation there
@@ -267,6 +289,15 @@ func (d *Device) handle(p *sim.Proc, st *queueState, cmd nvme.Command) {
 	}
 }
 
+// scratchBuf returns *sp resized to n bytes, reallocating only on growth.
+// Callers must fully overwrite the buffer (stale contents survive reuse).
+func scratchBuf(sp *[]byte, n uint32) []byte {
+	if cap(*sp) < int(n) {
+		*sp = make([]byte, n)
+	}
+	return (*sp)[:n]
+}
+
 func (d *Device) checkRange(cmd *nvme.Command) (*Namespace, nvme.Status) {
 	ns := d.ns[cmd.NSID()]
 	if ns == nil {
@@ -298,7 +329,7 @@ func (d *Device) doRead(p *sim.Proc, st *queueState, cmd *nvme.Command) nvme.Sta
 	d.units.Release()
 	d.transfer(p, d.rbus, nbytes, d.p.ReadBW)
 
-	buf := make([]byte, nbytes)
+	buf := scratchBuf(&d.scratch, nbytes)
 	ns.Store.ReadBlocks(cmd.SLBA(), buf)
 	if err := nvme.WriteSegments(st.mem, segs, buf); err != nil {
 		return nvme.SCDataXferError
@@ -350,11 +381,11 @@ func (d *Device) doCompare(p *sim.Proc, st *queueState, cmd *nvme.Command) nvme.
 	d.units.Release()
 	d.transfer(p, d.rbus, nbytes, d.p.ReadBW)
 
-	want := make([]byte, nbytes)
+	want := scratchBuf(&d.scratch, nbytes)
 	if err := nvme.ReadSegments(st.mem, segs, want); err != nil {
 		return nvme.SCDataXferError
 	}
-	have := make([]byte, nbytes)
+	have := scratchBuf(&d.scratch2, nbytes)
 	ns.Store.ReadBlocks(cmd.SLBA(), have)
 	for i := range want {
 		if want[i] != have[i] {

@@ -272,17 +272,38 @@ func bootstormTable(o Options) *Table {
 		imgBlocks = bootImageBlocksQuick
 		fleets = []int{8, 16}
 	}
-	add := func(name string, vms int, blocks uint64, shared bool) {
-		r := runBootstorm(o, vms, blocks, bootCacheChunks, shared)
+	// Every cell is an independent shard; rows are assembled in enqueue
+	// order after the group runs, so the table matches a serial sweep.
+	g := o.group()
+	type cell struct {
+		name string
+		vms  int
+		r    *bootstormRun
+	}
+	var cells []cell
+	queue := func(name string, vms int, blocks uint64, shared bool) {
+		r := shard(g, func() bootstormRun {
+			return runBootstorm(o, vms, blocks, bootCacheChunks, shared)
+		})
+		cells = append(cells, cell{name, vms, r})
+	}
+	for _, n := range fleets {
+		queue(fmt.Sprintf("shared N=%d", n), n, imgBlocks, true)
+		queue(fmt.Sprintf("flat N=%d", n), n, imgBlocks, false)
+	}
+	queue(fmt.Sprintf("shared N=%d img x4", fleets[0]), fleets[0], imgBlocks*4, true)
+	g.Run()
+	for _, c := range cells {
+		r := *c.r
 		ok := 0.0
-		if bootstormOK(r, vms) {
+		if bootstormOK(r, c.vms) {
 			ok = 1
 		}
 		baseOK := 0.0
 		if r.baseOK {
 			baseOK = 1
 		}
-		t.Add(name,
+		t.Add(c.name,
 			r.res.KIOPS(),
 			r.hitRatio,
 			float64(r.cowBreaks),
@@ -295,11 +316,6 @@ func bootstormTable(o Options) *Table {
 			float64(r.guardBad),
 			ok)
 	}
-	for _, n := range fleets {
-		add(fmt.Sprintf("shared N=%d", n), n, imgBlocks, true)
-		add(fmt.Sprintf("flat N=%d", n), n, imgBlocks, false)
-	}
-	add(fmt.Sprintf("shared N=%d img x4", fleets[0]), fleets[0], imgBlocks*4, true)
 	t.Notes = "same total cache budget per row pair; hit_ratio = content-cache hits/lookups; ok = drained, guard_bad=0, every tenant diverged, golden CRCs unchanged, clone copied zero chunks"
 	return t
 }

@@ -180,8 +180,16 @@ func cacheTable(o Options) *Table {
 		{"mixed RW WA", wa, mixed(cacheCfg(o))},
 		{"small cache WT", small, cacheCfg(o)},
 	}
-	for _, row := range rows {
-		cr := runCache(o, row.cp, row.cfg, 4)
+	// One shard per cache configuration; rows assemble in declaration order.
+	g := o.group()
+	runs := make([]*cacheRun, len(rows))
+	for i, row := range rows {
+		row := row
+		runs[i] = shard(g, func() cacheRun { return runCache(o, row.cp, row.cfg, 4) })
+	}
+	g.Run()
+	for i, row := range rows {
+		cr := *runs[i]
 		coherent := 0.0
 		if cr.coherent && cr.drained {
 			coherent = 1

@@ -275,40 +275,62 @@ func chaosTable(o Options) *Table {
 		Title: "Chaos: UIF crash/wedge — detection, reconcile, degraded fast path, restart",
 		Cols:  []string{"kIOPS", "p99x", "inj", "detect", "reconciled", "requeued", "restarts", "degr_us", "tailx", "errors", "ok"},
 	}
+	// Shard layout: per grid point (storage function), one healthy-baseline
+	// shard plus one shard per fault kind — all nine runs are independent
+	// simulations, merged back in (point, shard) order.
+	g := o.group()
+	type faultRow struct {
+		name string
+		kind string
+		base *chaosRun
+		cr   *chaosRun
+	}
+	var rows []faultRow
 	for _, cell := range chaosCells(o) {
-		base := cell.run(nil)
+		run := cell.run
+		base := shard(g, func() chaosRun { return run(nil) })
 		for _, f := range []struct {
 			kind  string
 			crash bool
 		}{{"crash", true}, {"wedge", false}} {
-			cr := cell.run(chaosPlan(o, f.crash))
-			cs := &cr.counters
-			sup := "sup." + cell.name + "."
-			site := "fault.uif-" + cell.name + "."
-			p99x, tailx := 0.0, 0.0
-			if b := base.res.Lat.P99(); b > 0 {
-				p99x = float64(cr.res.Lat.P99()) / float64(b)
-			}
-			if b := base.res.KIOPS(); b > 0 {
-				tailx = cr.tail.KIOPS() / b
-			}
-			ok := 0.0
-			if chaosOK(cell.name, cr) {
-				ok = 1
-			}
-			t.Add(cell.name+" "+f.kind,
-				cr.res.KIOPS(),
-				p99x,
-				float64(cs.Get(site+"uif-crash")+cs.Get(site+"uif-wedge")),
-				float64(cs.Get(sup+"detections")),
-				float64(cs.Get(sup+"reconciled_ok")+cs.Get(sup+"reconciled_err")),
-				float64(cs.Get(sup+"requeued")),
-				float64(cs.Get(sup+"restarts")),
-				float64(cs.Get(sup+"degraded_us")),
-				tailx,
-				float64(cs.Get("fio.errors")),
-				ok)
+			crash := f.crash
+			rows = append(rows, faultRow{
+				name: cell.name,
+				kind: f.kind,
+				base: base,
+				cr:   shard(g, func() chaosRun { return run(chaosPlan(o, crash)) }),
+			})
 		}
+	}
+	g.Run()
+	for _, row := range rows {
+		base, cr := *row.base, *row.cr
+		cs := &cr.counters
+		sup := "sup." + row.name + "."
+		site := "fault.uif-" + row.name + "."
+		p99x, tailx := 0.0, 0.0
+		if b := base.res.Lat.P99(); b > 0 {
+			p99x = float64(cr.res.Lat.P99()) / float64(b)
+		}
+		if b := base.res.KIOPS(); b > 0 {
+			tailx = cr.tail.KIOPS() / b
+		}
+		ok := 0.0
+		if chaosOK(row.name, cr) {
+			ok = 1
+		}
+		t.Add(row.name+" "+row.kind,
+			cr.res.KIOPS(),
+			p99x,
+			float64(cs.Get(site+"uif-crash")+cs.Get(site+"uif-wedge")),
+			float64(cs.Get(sup+"detections")),
+			float64(cs.Get(sup+"reconciled_ok")+cs.Get(sup+"reconciled_err")),
+			float64(cs.Get(sup+"requeued")),
+			float64(cs.Get(sup+"restarts")),
+			float64(cs.Get(sup+"degraded_us")),
+			tailx,
+			float64(cs.Get("fio.errors")),
+			ok)
 	}
 	t.Notes = "p99x/tailx vs healthy same-seed baseline; ok = drained, detected, restarted, converged, and (except the fail-stop encryptor) zero guest errors"
 	return t

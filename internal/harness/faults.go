@@ -207,10 +207,21 @@ func faultSweep(o Options) *Table {
 			return runFaultMDev(o, fault.NewPlan(o.Seed).WithMediaErrors(rate), cfg, 4)
 		}},
 	}
-	for _, s := range stacks {
-		var cells []float64
+	// Shards: one per (stack, rate) grid cell; each row merges its cells in
+	// rate order after the group runs.
+	g := o.group()
+	runs := make([][]*faultRun, len(stacks))
+	for i, s := range stacks {
+		run := s.run
 		for _, rate := range rates {
-			fr := s.run(rate)
+			rate := rate
+			runs[i] = append(runs[i], shard(g, func() faultRun { return run(rate) }))
+		}
+	}
+	g.Run()
+	for i, s := range stacks {
+		var cells []float64
+		for _, fr := range runs[i] {
 			perKop := 0.0
 			if fr.res.Ops > 0 {
 				perKop = float64(fr.res.Errors) / float64(fr.res.Ops) * 1e3
@@ -250,8 +261,15 @@ func faultRecovery(o Options) *Table {
 		{"drop 2%", fault.NewPlan(o.Seed).WithDrops(0.02, 0)},
 		{"stuck 2% (5ms)", fault.NewPlan(o.Seed).WithStuck(0.02, 0, 5*sim.Millisecond)},
 	}
-	for _, row := range rows {
-		fr := runFaultNVMetro(o, row.plan, tightRouter, cfg, 4)
+	g := o.group()
+	runs := make([]*faultRun, len(rows))
+	for i, row := range rows {
+		plan := row.plan
+		runs[i] = shard(g, func() faultRun { return runFaultNVMetro(o, plan, tightRouter, cfg, 4) })
+	}
+	g.Run()
+	for i, row := range rows {
+		fr := *runs[i]
 		drained := 0.0
 		if fr.drained {
 			drained = 1
@@ -286,8 +304,15 @@ func faultReplication(o Options) *Table {
 		{"remote 1% media", fault.NewPlan(o.Seed).WithMediaErrors(0.01)},
 		{"remote 1% media + 10ms outage", fault.NewPlan(o.Seed).WithMediaErrors(0.01).WithOutage(outageAt, 10*sim.Millisecond)},
 	}
-	for _, row := range rows {
-		fr := runFaultRepl(o, row.plan, nil, cfg, 4)
+	g := o.group()
+	runs := make([]*faultRun, len(rows))
+	for i, row := range rows {
+		plan := row.plan
+		runs[i] = shard(g, func() faultRun { return runFaultRepl(o, plan, nil, cfg, 4) })
+	}
+	g.Run()
+	for i, row := range rows {
+		fr := *runs[i]
 		drained := 0.0
 		if fr.drained {
 			drained = 1

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in, so tests
+// can skip legs whose cost the detector multiplies without adding coverage
+// (byte-identity re-renders are single-threaded determinism checks).
+const raceEnabled = true

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestResultsCSVs re-renders full-mode (non-quick) paper artifacts that are
+// checked into results/ and asserts byte-identity. Where TestGoldenCSVs pins
+// the quick grids, this pins the published full-resolution tables across
+// scheduler changes: the DES core rewrite must not move a single byte of
+// Table I or the boot-storm fleet results at the recorded seed.
+func TestResultsCSVs(t *testing.T) {
+	ids := []string{"table1"}
+	// The full 128-VM boot-storm fleet is minutes of single-threaded
+	// simulation under the race detector for a check that is purely about
+	// deterministic bytes; the plain `go test ./...` tier covers it.
+	if !testing.Short() && !raceEnabled {
+		ids = append(ids, "bootstorm")
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			for _, tbl := range e.Run(Options{Seed: 1}) {
+				path := filepath.Join("..", "..", "results", tbl.ID+".csv")
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing published CSV for table %s: %v", tbl.ID, err)
+				}
+				if got := tbl.CSV(); got != string(want) {
+					t.Errorf("table %s diverged from %s:\n--- got ---\n%s--- want ---\n%s",
+						tbl.ID, path, got, want)
+				}
+			}
+		})
+	}
+}

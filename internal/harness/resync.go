@@ -157,8 +157,16 @@ func resyncTable(o Options) *Table {
 			{at(6 * sim.Millisecond), 2 * sim.Millisecond},
 		}, slow},
 	}
-	for _, row := range rows {
-		rr := runResync(o, row.outages, row.rcfg, cfg, 4)
+	// One shard per outage shape; rows assemble in declaration order.
+	g := o.group()
+	runs := make([]*resyncRun, len(rows))
+	for i, row := range rows {
+		row := row
+		runs[i] = shard(g, func() resyncRun { return runResync(o, row.outages, row.rcfg, cfg, 4) })
+	}
+	g.Run()
+	for i, row := range rows {
+		rr := *runs[i]
 		converged, mirrorOK := 0.0, 0.0
 		if rr.converged && rr.drained && rr.finalDirty == 0 {
 			converged = 1

@@ -338,8 +338,19 @@ func scrubTable(o Options) *Table {
 		Title: "Scrub: end-to-end integrity — detection, replica repair, quarantine",
 		Cols:  []string{"kIOPS", "p99us", "p99x", "inj", "detect", "detect_us", "repaired", "quar", "audit_bad", "tail_err", "ok"},
 	}
-	base := runScrub(o, nil, true, false)
-	on := runScrub(o, nil, true, true)
+	// Shards: the two healthy runs plus one per corruption kind, all
+	// independent; rows assemble in the fixed serial order below.
+	g := o.group()
+	basePtr := shard(g, func() scrubRun { return runScrub(o, nil, true, false) })
+	onPtr := shard(g, func() scrubRun { return runScrub(o, nil, true, true) })
+	cells := scrubCells()
+	runs := make([]*scrubRun, len(cells))
+	for i, c := range cells {
+		c := c
+		runs[i] = shard(g, func() scrubRun { return runScrub(o, scrubPlan(o, c.kind), c.replica, true) })
+	}
+	g.Run()
+	base, on := *basePtr, *onPtr
 	p99x := func(r scrubRun) float64 {
 		if b := base.res.Lat.P99(); b > 0 {
 			return float64(r.res.Lat.P99()) / float64(b)
@@ -360,8 +371,8 @@ func scrubTable(o Options) *Table {
 		on.res.KIOPS(), float64(on.res.Lat.P99())/1e3, p99x(on), 0, 0, 0,
 		float64(on.scr.RepairedBlocks), float64(on.quarBlks),
 		float64(on.auditBad), float64(on.tailErr), healthyOK(on))
-	for _, c := range scrubCells() {
-		sr := runScrub(o, scrubPlan(o, c.kind), c.replica, true)
+	for i, c := range cells {
+		sr := *runs[i]
 		ok := 0.0
 		if scrubOK(c, sr) {
 			ok = 1

@@ -2,11 +2,14 @@ package sim
 
 // waitTok represents one parked wait. A token fires exactly once — either by
 // a signal or by a timeout — which makes Signal/WaitTimeout races impossible.
+// Tokens are pooled on the environment: the waiter recycles its token after
+// resuming, unless a timeout event may still reference it.
 type waitTok struct {
 	p        *Proc
 	fired    bool
 	signaled bool
-	val      any // optional payload handed over by Signal
+	hasTimer bool // a queued timeout event references this token
+	val      any  // optional payload handed over by Signal
 }
 
 // Cond is a FIFO condition variable for simulated processes. Unlike
@@ -15,6 +18,7 @@ type waitTok struct {
 type Cond struct {
 	env     *Env
 	waiters []*waitTok
+	head    int // index of the first live waiter; storage before it is consumed
 }
 
 // NewCond returns a condition bound to env.
@@ -23,7 +27,7 @@ func NewCond(env *Env) *Cond { return &Cond{env: env} }
 // Waiters reports how many processes are currently parked on the condition.
 func (c *Cond) Waiters() int {
 	n := 0
-	for _, t := range c.waiters {
+	for _, t := range c.waiters[c.head:] {
 		if !t.fired {
 			n++
 		}
@@ -35,37 +39,45 @@ func (c *Cond) Waiters() int {
 // It returns the value passed to Signal (nil for Broadcast).
 func (c *Cond) Wait() any {
 	p := c.env.current()
-	tok := &waitTok{p: p}
+	tok := c.env.getTok(p)
 	c.waiters = append(c.waiters, tok)
 	p.park()
-	return tok.val
+	val := tok.val
+	c.env.putTok(tok) // fired tokens are popped from waiters before the wake
+	return val
 }
 
 // WaitTimeout parks the calling process until signaled or until d elapses.
 // It reports whether the wake-up was a signal, and the signal value if so.
+// The timeout is a first-class timer event: if the signal wins, the queued
+// event is lazily cancelled instead of surviving as a dead callback.
 func (c *Cond) WaitTimeout(d Duration) (any, bool) {
 	p := c.env.current()
-	tok := &waitTok{p: p}
+	tok := c.env.getTok(p)
 	c.waiters = append(c.waiters, tok)
-	c.env.After(d, func() {
-		if !tok.fired {
-			tok.fired = true
-			c.env.push(c.env.now, tok.p, nil)
-		}
-	})
+	c.env.pushTimer(c.env.now.Add(d), tok)
 	p.park()
 	return tok.val, tok.signaled
 }
 
-// pop removes and returns the first unfired waiter, or nil.
+// pop removes and returns the first unfired waiter, or nil. Consumed slots
+// advance head; the backing array is reused once the queue drains, so a
+// steady wait/signal cycle never reallocates.
 func (c *Cond) pop() *waitTok {
-	for len(c.waiters) > 0 {
-		tok := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	for c.head < len(c.waiters) {
+		tok := c.waiters[c.head]
+		c.waiters[c.head] = nil
+		c.head++
 		if !tok.fired {
+			if c.head == len(c.waiters) {
+				c.waiters = c.waiters[:0]
+				c.head = 0
+			}
 			return tok
 		}
 	}
+	c.waiters = c.waiters[:0]
+	c.head = 0
 	return nil
 }
 
@@ -76,10 +88,7 @@ func (c *Cond) Signal(val any) bool {
 	if tok == nil {
 		return false
 	}
-	tok.fired = true
-	tok.signaled = true
-	tok.val = val
-	c.env.push(c.env.now, tok.p, nil)
+	c.fire(tok, val)
 	return true
 }
 
@@ -90,8 +99,18 @@ func (c *Cond) Broadcast() {
 		if tok == nil {
 			return
 		}
-		tok.fired = true
-		tok.signaled = true
-		c.env.push(c.env.now, tok.p, nil)
+		c.fire(tok, nil)
 	}
+}
+
+// fire marks tok signaled, cancels its pending timeout if any, and queues
+// the wake for its process.
+func (c *Cond) fire(tok *waitTok, val any) {
+	tok.fired = true
+	tok.signaled = true
+	tok.val = val
+	if tok.hasTimer {
+		c.env.cancelTimer(tok)
+	}
+	c.env.push(c.env.now, tok.p, nil)
 }

@@ -8,6 +8,7 @@ type Resource struct {
 	cap   int
 	inUse int
 	q     []*waitTok
+	head  int // index of the first live waiter; storage before it is consumed
 }
 
 // NewResource returns a resource with the given capacity.
@@ -27,7 +28,7 @@ func (r *Resource) InUse() int { return r.inUse }
 // QueueLen returns the number of processes waiting to acquire.
 func (r *Resource) QueueLen() int {
 	n := 0
-	for _, t := range r.q {
+	for _, t := range r.q[r.head:] {
 		if !t.fired {
 			n++
 		}
@@ -37,7 +38,7 @@ func (r *Resource) QueueLen() int {
 
 // TryAcquire acquires a unit without blocking, reporting success.
 func (r *Resource) TryAcquire() bool {
-	if r.inUse < r.cap && len(r.q) == 0 {
+	if r.inUse < r.cap && r.head == len(r.q) {
 		r.inUse++
 		return true
 	}
@@ -52,10 +53,12 @@ func (r *Resource) Acquire() {
 		return
 	}
 	p := r.env.current()
-	tok := &waitTok{p: p}
+	tok := r.env.getTok(p)
 	r.q = append(r.q, tok)
 	p.park()
-	// Ownership was transferred by Release; inUse already accounts for us.
+	// Ownership was transferred by Release; inUse already accounts for us,
+	// and Release popped the token, so it can be recycled.
+	r.env.putTok(tok)
 }
 
 // Release returns a unit, waking the head waiter if any.
@@ -63,11 +66,16 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release without Acquire")
 	}
-	for len(r.q) > 0 {
-		tok := r.q[0]
-		r.q = r.q[1:]
+	for r.head < len(r.q) {
+		tok := r.q[r.head]
+		r.q[r.head] = nil
+		r.head++
 		if tok.fired {
 			continue
+		}
+		if r.head == len(r.q) {
+			r.q = r.q[:0]
+			r.head = 0
 		}
 		tok.fired = true
 		tok.signaled = true
@@ -75,6 +83,8 @@ func (r *Resource) Release() {
 		r.env.push(r.env.now, tok.p, nil)
 		return
 	}
+	r.q = r.q[:0]
+	r.head = 0
 	r.inUse--
 }
 

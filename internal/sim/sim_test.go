@@ -353,33 +353,3 @@ func TestYieldInterleaving(t *testing.T) {
 		t.Fatalf("log %v", log)
 	}
 }
-
-func BenchmarkSleepWake(b *testing.B) {
-	env := New(1)
-	env.Go("p", func(p *Proc) {
-		for i := 0; i < b.N; i++ {
-			p.Sleep(Microsecond)
-		}
-	})
-	b.ResetTimer()
-	env.Run()
-}
-
-func BenchmarkCondPingPong(b *testing.B) {
-	env := New(1)
-	c1, c2 := NewCond(env), NewCond(env)
-	env.Go("pong", func(p *Proc) {
-		for i := 0; i < b.N; i++ {
-			c1.Wait()
-			c2.Signal(nil)
-		}
-	})
-	env.Go("ping", func(p *Proc) {
-		for i := 0; i < b.N; i++ {
-			c1.Signal(nil)
-			c2.Wait()
-		}
-	})
-	b.ResetTimer()
-	env.Run()
-}
