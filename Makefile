@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test fmt bench bench-sim bench-smoke sim-smoke chaos-smoke scrub-smoke bootstorm-smoke
+.PHONY: check build vet test fmt bench bench-sim bench-smoke sim-smoke chaos-smoke scrub-smoke bootstorm-smoke scale-smoke
 
 # check is the CI gate: build, vet, race-enabled tests, gofmt cleanliness
 # (fails listing the offending files), the short-seed chaos suite, the
-# short-seed integrity/scrub suite and the short-seed boot-storm suite.
-check: build vet test fmt chaos-smoke scrub-smoke bootstorm-smoke
+# short-seed integrity/scrub suite, the short-seed boot-storm suite and the
+# sharded-router scale suite.
+check: build vet test fmt chaos-smoke scrub-smoke bootstorm-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +41,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterHop' -benchtime 1x ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkArbiter' -benchtime 1x ./internal/qos/
 	$(GO) test -run '^$$' -bench 'BenchmarkClone|BenchmarkCow' -benchtime 1x ./internal/cow/
+	$(GO) test -run '^$$' -bench 'BenchmarkShardDispatch' -benchtime 1x ./internal/shard/
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim/
 
 # sim-smoke is the DES-kernel gate: the scheduler and harness under the
@@ -65,6 +67,14 @@ chaos-smoke:
 scrub-smoke:
 	$(GO) test -race ./internal/integrity/
 	$(GO) test -race -run 'TestScrub' ./internal/harness/
+
+# scale-smoke runs the sharded-router suite under the race detector: the
+# lock-free MPSC ring and static-verdict unit tests, the fleet placement /
+# promotion-fence / per-shard QoS-merge tests, and the scale experiment's
+# any-workers determinism and near-linear-scaling shape checks.
+scale-smoke:
+	$(GO) test -race ./internal/shard/... ./internal/ebpf/
+	$(GO) test -race -run 'TestScale' ./internal/harness/
 
 # bootstorm-smoke runs the snapshot/clone suite under the race detector:
 # the cow layer's model-based and property tests, the stack-level clone

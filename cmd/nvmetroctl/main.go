@@ -12,6 +12,15 @@
 //	nvmetroctl chaos [-function encryption] [-fault crash] [-duration 20ms]
 //	nvmetroctl scrub [-fault bitrot] [-replica=false] [-duration 20ms]
 //	nvmetroctl snap [-vms 8] [-image 16] [-duration 20ms]
+//	nvmetroctl shard [-vms 8] [-shards 2] [-duration 20ms] [-swap=false]
+//
+// The shard subcommand brings up the per-core sharded dispatch fleet:
+// tenants spread least-loaded over the shards, each on its own whole
+// namespace so the statically-provable default classifier promotes them to
+// the direct SQ→HSQ mapping. After the workload it dumps the fleet view —
+// per-shard tenant assignment, promotion tier, MPSC inbox depths — and,
+// with -swap, hot-swaps vm0's classifier to demonstrate the demotion fence
+// and the deferred re-promotion.
 //
 // The snap subcommand seals a golden image, clones one namespace per
 // tenant VM from it, drives the read-mostly boot-storm profile and dumps
@@ -62,6 +71,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "snap" {
 		snapCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "shard" {
+		shardCmd(os.Args[2:])
 		return
 	}
 	var (
@@ -147,6 +160,89 @@ func main() {
 		fmt.Printf("I/O errors: %d\n", res.Errors)
 		os.Exit(1)
 	}
+}
+
+// shardCmd is the `nvmetroctl shard` subcommand: a sharded-fleet demo and
+// state dump — per-shard tenant assignment, promotion tier and MPSC inbox
+// depths, plus an optional live demotion/re-promotion episode.
+func shardCmd(args []string) {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	var (
+		nvms   = fs.Int("vms", 8, "number of tenant VMs")
+		shards = fs.Int("shards", 0, "dispatch shards (0 = one per 4 VMs, min 2)")
+		dur    = fs.Duration("duration", 20*time.Millisecond, "virtual measurement window")
+		qd     = fs.Int("qd", 4, "queue depth per tenant")
+		bs     = fs.Int("bs", 4096, "block size")
+		seed   = fs.Int64("seed", 1, "simulation seed")
+		swap   = fs.Bool("swap", true, "hot-swap vm0's classifier after the run (demotion fence demo)")
+	)
+	fs.Parse(args)
+
+	n := *shards
+	if n <= 0 {
+		n = (*nvms + 3) / 4
+		if n < 2 {
+			n = 2
+		}
+	}
+	cfg := nvmetro.Defaults()
+	cfg.Seed = *seed
+	cfg.GuestCores = *nvms
+	cfg.Cores = *nvms + n + 2 // one core per shard plus slack
+	sys := nvmetro.NewSystem(cfg)
+	defer sys.Close()
+
+	sol := sys.NewNVMetroSharded(n)
+	fmt.Printf("host: %d cores, %d dispatch shards, path promotion enabled\n", cfg.Cores, n)
+
+	var disks []*nvmetro.AttachedDisk
+	var targets []nvmetro.FIOTarget
+	for i := 0; i < *nvms; i++ {
+		v := sys.NewVM(1, 32<<20)
+		part := sys.AddNamespace(1 << 18) // whole namespace: promotable layout
+		d := sys.AttachShared(sol, v, part)
+		disks = append(disks, d)
+		targets = append(targets, d.Targets(1)...)
+		fmt.Printf("vm%d: whole namespace %d, shard %d\n", i, part.NSID, d.Ctrl.WorkerID())
+	}
+
+	fmt.Printf("\nrunning randread bs=%d qd=%d over %d tenant(s)...\n", *bs, *qd, *nvms)
+	res := sys.RunFIO(nvmetro.FIOConfig{
+		Mode: nvmetro.RandRead, BlockSize: uint32(*bs), QD: *qd,
+		Warmup: 2 * nvmetro.Millisecond, Duration: nvmetro.Duration(dur.Nanoseconds()),
+	}, targets)
+	fmt.Printf("results: %.1f kIOPS, p50=%.1fus p99=%.1fus, guest errors=%d\n\n",
+		res.KIOPS(), float64(res.Lat.Median())/1e3, float64(res.Lat.P99())/1e3, res.Errors)
+	fmt.Print(sol.Fleet().Dump())
+
+	if !*swap {
+		return
+	}
+	// The demotion fence, live: installing a map-dependent classifier on a
+	// promoted tenant must demote it synchronously — before the new program
+	// can see a single command — and restoring a provably-constant program
+	// re-promotes through the shard's control inbox.
+	vc := disks[0].Ctrl
+	prog := nvmetro.PartitionClassifier(vc.Partition())
+	fmt.Println("\nhot-swap: loading the partition classifier on vm0 (unprovable verdict)...")
+	if err := vc.LoadClassifier(prog); err != nil {
+		panic(err)
+	}
+	fmt.Printf("vm0 promoted=%v (demoted synchronously, fence closed)\n", vc.Promoted())
+	sys.RunFIO(nvmetro.FIOConfig{
+		Mode: nvmetro.RandRead, BlockSize: uint32(*bs), QD: *qd,
+		Warmup: nvmetro.Millisecond, Duration: 4 * nvmetro.Millisecond,
+	}, targets)
+	fmt.Println("\nrestoring the default classifier on vm0...")
+	if err := vc.LoadClassifier(nvmetro.DefaultClassifier()); err != nil {
+		panic(err)
+	}
+	sys.RunFIO(nvmetro.FIOConfig{
+		Mode: nvmetro.RandRead, BlockSize: uint32(*bs), QD: *qd,
+		Warmup: nvmetro.Millisecond, Duration: 4 * nvmetro.Millisecond,
+	}, targets)
+	fmt.Printf("vm0 promoted=%v (re-promoted through the control inbox)\n\n", vc.Promoted())
+	fmt.Print(sol.Fleet().Dump())
 }
 
 // chaosCmd is the `nvmetroctl chaos` subcommand: run one supervised

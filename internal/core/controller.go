@@ -159,6 +159,16 @@ type Controller struct {
 	cvm    *ebpf.VM
 	ctx    ctxBuf
 
+	// Adaptive path promotion: when static analysis proves the loaded
+	// classifier always returns the pure fast-path verdict, the tenant's
+	// hop collapses to a direct SQ→HSQ mapping and classifier execution is
+	// elided entirely. promoted flips synchronously on demotion (the
+	// hot-swap fence) and via the worker's control inbox on promotion.
+	staticRet    uint64 // proven constant verdict (valid when staticOK)
+	staticOK     bool
+	promoted     bool
+	promoPending bool // a promotion grant is already in the control inbox
+
 	vqs      []*vqState
 	nextQID  uint16
 	nq       *NotifyQueues
@@ -210,7 +220,14 @@ func (vc *Controller) SetGuard(g BlockGuard) {
 // fast-path classifier; Restrict left enabled confines fast-path commands
 // to the partition.
 func (r *Router) Attach(v *vm.VM, part device.Partition) *Controller {
-	w := r.workers[len(r.allControllers())%len(r.workers)]
+	return r.AttachWorker(len(r.allControllers())%len(r.workers), v, part)
+}
+
+// AttachWorker creates a virtual controller served by the given worker
+// (shard) — tenant placement policy belongs to the caller (package shard
+// balances by load; Attach round-robins).
+func (r *Router) AttachWorker(i int, v *vm.VM, part device.Partition) *Controller {
+	w := r.workers[i]
 	vc := &Controller{
 		router:   r,
 		w:        w,
@@ -223,7 +240,7 @@ func (r *Router) Attach(v *vm.VM, part device.Partition) *Controller {
 	if err := vc.LoadClassifier(DefaultClassifier()); err != nil {
 		panic(fmt.Sprintf("core: default classifier rejected: %v", err))
 	}
-	if r.qos != nil {
+	if r.qosEnabled() {
 		vc.registerTenant()
 	}
 	w.vcs = append(w.vcs, vc)
@@ -268,12 +285,17 @@ func (vc *Controller) LoadClassifier(p *ebpf.Program) error {
 	}
 	vc.prog = p
 	vc.cprog = cp
+	vc.staticRet, vc.staticOK = cp.StaticVerdict()
+	vc.refreshPromotion()
 	return nil
 }
 
 // SetInterpreted selects the reference interpreter over the compiled tier
 // (for differential testing; virtual routing cost is identical either way).
-func (vc *Controller) SetInterpreted(on bool) { vc.interp = on }
+func (vc *Controller) SetInterpreted(on bool) {
+	vc.interp = on
+	vc.refreshPromotion()
+}
 
 // classifyCost returns the virtual CPU cost of one classification under the
 // currently installed classifier kind.
@@ -293,7 +315,60 @@ type NativeClassifier func(ctx []byte) uint64
 
 // SetNativeClassifier installs fn in place of the eBPF program (nil
 // restores the eBPF classifier).
-func (vc *Controller) SetNativeClassifier(fn NativeClassifier) { vc.native = fn }
+func (vc *Controller) SetNativeClassifier(fn NativeClassifier) {
+	vc.native = fn
+	vc.refreshPromotion()
+}
+
+// promotable reports whether the controller currently qualifies for the
+// direct SQ→HSQ tier: promotion enabled on the router, an eBPF classifier
+// on the compiled tier (native and interpreted classifiers are opaque to
+// the static analysis), no UIF attached (a notify consumer implies the
+// verdict is about to matter), and a proven constant verdict equal to the
+// pure fast-path action word.
+func (vc *Controller) promotable() bool {
+	return vc.router.promote && vc.staticOK && vc.native == nil && !vc.interp &&
+		vc.nq == nil && vc.staticRet == uint64(ActSendHQ|ActWillCompleteHQ)
+}
+
+// refreshPromotion re-evaluates the controller's dispatch tier after any
+// event that can change the verdict (LoadClassifier, AttachUIF/DetachUIF,
+// SetNativeClassifier, SetInterpreted, EnablePromotion).
+//
+// Demotion is synchronous — this is the hot-swap fence: by the time
+// LoadClassifier returns, no command admitted afterwards can bypass the
+// new classifier. Promotion is deferred through the worker's control
+// inbox so the grant lands between poll rounds, never mid-gather, exactly
+// like a supervision reconcile.
+func (vc *Controller) refreshPromotion() {
+	if vc.promoted && !vc.promotable() {
+		vc.promoted = false
+		vc.router.Demotions++
+		return
+	}
+	if !vc.promoted && vc.promotable() && !vc.promoPending {
+		vc.promoPending = true
+		vc.w.post(func() {
+			vc.promoPending = false
+			if !vc.promoted && vc.promotable() {
+				vc.promoted = true
+				vc.router.Promotions++
+			}
+		})
+	}
+}
+
+// Promoted reports whether the controller currently dispatches guest
+// commands via the direct SQ→HSQ mapping (classifier execution elided).
+func (vc *Controller) Promoted() bool { return vc.promoted }
+
+// StaticVerdict returns the classifier's statically proven constant
+// verdict, when the analysis holds (control-plane/diagnostics surface).
+func (vc *Controller) StaticVerdict() (uint64, bool) { return vc.staticRet, vc.staticOK }
+
+// WorkerID returns the index of the router worker (shard) serving this
+// controller.
+func (vc *Controller) WorkerID() int { return vc.w.id }
 
 // SetKernelTarget installs the kernel-path backend.
 func (vc *Controller) SetKernelTarget(kt KernelTarget) { vc.kt = kt }
@@ -444,6 +519,35 @@ func (w *worker) classifyAndRoute(req *request, hook uint32, errStatus nvme.Stat
 	for _, s := range sends {
 		s.fn(s.h)
 	}
+}
+
+// directDispatch is the promoted tier's dispatch: the classifier's verdict
+// is a proven constant equal to ActSendHQ|ActWillCompleteHQ and the
+// program is pure (no ctx writes, no map mutation, no class tagging), so
+// the command maps SQ→HSQ directly with no classifier execution, no ctx
+// marshalling and no copy-back. Everything downstream of classification —
+// restriction, guard admission, tag allocation, deadlines, backpressure —
+// is shared with the routed tier via dispatchHQ. Runs in worker effect
+// context.
+func (w *worker) directDispatch(req *request) {
+	vc := req.vq.vc
+	if !vc.promoted {
+		// Demoted between gather and effect (the hot-swap fence closed
+		// mid-round): the new classifier decides. The elided classify
+		// charge is not retrofitted — a one-round transition artifact.
+		w.classifyAndRoute(req, HookVSQ, 0)
+		return
+	}
+	w.r.PromotedOps++
+	// A pure classifier cannot invoke qos_set_class; the admission charge
+	// settles at the default class, as it would after execution.
+	w.chargeClass(req, qos.ClassDefault)
+	if vc.guard != nil && !w.guardAdmit(req) {
+		return
+	}
+	req.pending++
+	req.waiters++
+	w.dispatchHQ(hop{req, dispComplete})
 }
 
 // guardAdmit runs the protection-info admission step for a routed guest
@@ -628,7 +732,7 @@ func (w *worker) completeReq(req *request, status nvme.Status) {
 		w.r.GuestErrors++
 	}
 	if ten := req.vq.vc.tenant; ten != nil {
-		w.r.qos.ObserveLatency(ten, w.r.env.Now().Sub(req.t0))
+		w.qos.ObserveLatency(ten, w.r.env.Now().Sub(req.t0))
 	}
 	var e nvme.Completion
 	e.SetCID(req.gcid)
@@ -776,7 +880,9 @@ func (w *worker) dispatchKQ(h hop) {
 		return
 	}
 	vc.kt.Submit(h.req.cmd, vc.vm.Mem, func(st nvme.Status) {
-		w.kdone = append(w.kdone, kdoneEntry{h: h, status: st})
+		// The block layer completes on its own context; fan the completion
+		// into the owning shard through the lock-free inbox.
+		w.comps.Push(func() { w.finishHop(h, targetKQ, st) })
 		w.hint()
 	})
 }
@@ -804,8 +910,8 @@ var _ vm.Port = (*Controller)(nil)
 // DebugState renders the controller's routing-table state for diagnostics
 // (exposed to the control plane and tests).
 func (vc *Controller) DebugState() string {
-	s := fmt.Sprintf("outstanding=%d ntags=%d retry=%d workerAsleep=%v kdone=%d",
-		vc.outstanding, len(vc.ntags), len(vc.retry), vc.w.asleep, len(vc.w.kdone))
+	s := fmt.Sprintf("outstanding=%d ntags=%d retry=%d workerAsleep=%v comps=%d ctrl=%d",
+		vc.outstanding, len(vc.ntags), len(vc.retry), vc.w.asleep, vc.w.comps.Len(), vc.w.ctrl.Len())
 	if vc.nq != nil {
 		s += fmt.Sprintf(" nsq=%d ncq=%d", vc.nq.nsq.Len(), vc.nq.ncq.Len())
 	}

@@ -32,11 +32,18 @@ func (vc *Controller) AttachUIF(depth uint32) *NotifyQueues {
 		ncq: nvme.NewCQ(0, depth),
 	}
 	vc.nq = nq
+	// A notify consumer means the classifier's verdict is about to matter
+	// (the usual next step is loading an NQ-routing program): fence the
+	// direct mapping now, synchronously, like a classifier hot-swap.
+	vc.refreshPromotion()
 	return nq
 }
 
 // DetachUIF removes the notify attachment.
-func (vc *Controller) DetachUIF() { vc.nq = nil }
+func (vc *Controller) DetachUIF() {
+	vc.nq = nil
+	vc.refreshPromotion()
+}
 
 func (nq *NotifyQueues) notify() {
 	if nq.OnNotify != nil {

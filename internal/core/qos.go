@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nvmetro/internal/ebpf"
+	"nvmetro/internal/metrics"
 	"nvmetro/internal/nvme"
 	"nvmetro/internal/qos"
 	"nvmetro/internal/sim"
@@ -16,36 +17,82 @@ import (
 // driver blocks on the full ring, so throttling backpressures end to end
 // without drops.
 
-// EnableQoS installs a WFQ arbiter on the router. Controllers already
-// attached are registered as tenants with default (unlimited, weight-1)
-// contracts; controllers attached later register automatically. Returns
-// the arbiter for direct inspection. Calling EnableQoS twice returns the
+// EnableQoS installs a WFQ arbiter per router worker. Each shard
+// arbitrates only among its own tenants — tenant state never crosses a
+// shard boundary — and fleet-wide views merge the per-shard snapshots
+// (QoSSnapshot/CollectQoS). Controllers already attached are registered
+// as tenants with default (unlimited, weight-1) contracts; controllers
+// attached later register automatically. Returns the first worker's
+// arbiter (the whole arbiter when the router has a single worker, as the
+// shared-stack evaluation setups do). Calling EnableQoS twice returns the
 // existing arbiter.
 func (r *Router) EnableQoS(cfg qos.Config) *qos.Arbiter {
-	if r.qos == nil {
-		r.qos = qos.NewArbiter(cfg)
+	if !r.qosEnabled() {
+		for _, w := range r.workers {
+			w.qos = qos.NewArbiter(cfg)
+		}
 		for _, vc := range r.allControllers() {
 			vc.registerTenant()
 		}
 	}
-	return r.qos
+	return r.workers[0].qos
 }
 
-// QoS returns the installed arbiter (nil when QoS is disabled).
-func (r *Router) QoS() *qos.Arbiter { return r.qos }
+// qosEnabled reports whether EnableQoS has run.
+func (r *Router) qosEnabled() bool { return r.workers[0].qos != nil }
 
-// registerTenant enrolls the controller with the router's arbiter.
+// QoS returns the first worker's arbiter (nil when QoS is disabled).
+// Routers with one worker — every shared-stack evaluation setup — have
+// exactly one arbiter, so this is the complete QoS state there. Sharded
+// fleets use QoSSnapshot/CollectQoS for the merged view.
+func (r *Router) QoS() *qos.Arbiter { return r.workers[0].qos }
+
+// QoSArbiters returns every per-shard arbiter (nil when QoS is disabled).
+func (r *Router) QoSArbiters() []*qos.Arbiter {
+	if !r.qosEnabled() {
+		return nil
+	}
+	out := make([]*qos.Arbiter, len(r.workers))
+	for i, w := range r.workers {
+		out[i] = w.qos
+	}
+	return out
+}
+
+// QoSSnapshot merges the per-shard arbiter snapshots into one fleet-wide
+// view. Tenants are disjoint across shards (a controller registers only
+// with its owning worker's arbiter), so concatenation is the merge.
+func (r *Router) QoSSnapshot(now sim.Time) []qos.TenantSnapshot {
+	var out []qos.TenantSnapshot
+	for _, w := range r.workers {
+		if w.qos != nil {
+			out = append(out, w.qos.Snapshot(now)...)
+		}
+	}
+	return out
+}
+
+// CollectQoS folds every per-shard arbiter's counters into cs.
+func (r *Router) CollectQoS(cs *metrics.CounterSet) {
+	for _, w := range r.workers {
+		if w.qos != nil {
+			w.qos.Collect(cs)
+		}
+	}
+}
+
+// registerTenant enrolls the controller with its owning shard's arbiter.
 func (vc *Controller) registerTenant() {
-	vc.tenant = vc.router.qos.AddTenant(fmt.Sprintf("vm%d", vc.vm.ID), qos.TenantConfig{})
+	vc.tenant = vc.w.qos.AddTenant(fmt.Sprintf("vm%d", vc.vm.ID), qos.TenantConfig{})
 }
 
 // SetQoS replaces the controller's QoS contract in place (weight, rate
 // limits, SLO target). Requires EnableQoS on the router first.
 func (vc *Controller) SetQoS(cfg qos.TenantConfig) {
-	if vc.router.qos == nil {
+	if vc.w.qos == nil {
 		panic("core: SetQoS requires Router.EnableQoS")
 	}
-	vc.router.qos.Configure(vc.tenant, cfg)
+	vc.w.qos.Configure(vc.tenant, cfg)
 }
 
 // Tenant returns the controller's arbiter state (nil when QoS is
@@ -77,7 +124,7 @@ const qosAdmitBatch = 8
 // parking would deadlock the guest against a bucket that can never
 // refill).
 func (w *worker) gatherQoS(effects *[]func(), work *sim.Duration) (admitted, backlog int) {
-	q := w.r.qos
+	q := w.qos
 	now := w.r.env.Now()
 	q.Tick(now)
 	var cmd nvme.Command
@@ -118,8 +165,12 @@ func (w *worker) gatherQoS(effects *[]func(), work *sim.Duration) (admitted, bac
 		admitted++
 		base := q.Serve(vc.tenant, bestBytes, now)
 		req := &request{vq: best, gcid: bestCmd.CID(), cmd: bestCmd, t0: now, qosBase: base}
-		*work += vc.classifyCost(w.r.costs)
-		*effects = append(*effects, func() { w.classifyAndRoute(req, HookVSQ, 0) })
+		if vc.promoted {
+			*effects = append(*effects, func() { w.directDispatch(req) })
+		} else {
+			*work += vc.classifyCost(w.r.costs)
+			*effects = append(*effects, func() { w.classifyAndRoute(req, HookVSQ, 0) })
+		}
 	}
 	for _, vc := range w.vcs {
 		for _, vq := range vc.vqs {
@@ -133,7 +184,7 @@ func (w *worker) gatherQoS(effects *[]func(), work *sim.Duration) (admitted, bac
 // request's admission charge; runs right after the HookVSQ classification.
 func (w *worker) chargeClass(req *request, class qos.Class) {
 	if ten := req.vq.vc.tenant; ten != nil {
-		w.r.qos.ChargeClass(ten, req.qosBase, class)
+		w.qos.ChargeClass(ten, req.qosBase, class)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"nvmetro/internal/nvme"
 	"nvmetro/internal/qos"
+	"nvmetro/internal/shard/ring"
 	"nvmetro/internal/sim"
 )
 
@@ -47,14 +48,23 @@ type KernelTarget interface {
 	Submit(cmd nvme.Command, mem nvme.Memory, done func(nvme.Status))
 }
 
-// Router is the NVMetro I/O router: a set of worker threads, shared
-// round-robin between the attached VMs' virtual controllers, that poll
-// virtual submission queues and the completion queues of every I/O path.
+// Router is the NVMetro I/O router: a set of worker threads ("shards"),
+// shared round-robin between the attached VMs' virtual controllers, that
+// poll virtual submission queues and the completion queues of every I/O
+// path. Each worker owns its tenants exclusively — their queues, QoS
+// arbiter state and promotion decisions — so workers never contend;
+// cross-shard traffic (kernel completions, control posts) enters through
+// each worker's lock-free MPSC inboxes.
 type Router struct {
 	env     *sim.Env
 	costs   RouterCosts
 	workers []*worker
-	qos     *qos.Arbiter // nil until EnableQoS
+
+	// promote enables the adaptive path-promotion tier: tenants whose
+	// classifier has a proven static fast-path verdict collapse to a
+	// direct SQ→HSQ mapping. Off by default — the single-loop evaluation
+	// setups measure classifier execution, promotion would elide it.
+	promote bool
 
 	// FastPathDeadline bounds how long a fast-path hop may stay in flight
 	// before the router aborts it back to the guest (0 disables). The
@@ -85,6 +95,11 @@ type Router struct {
 	NotifyRequeued   uint64 // notify hops requeued through the classifier
 	GuardErrors      uint64 // guest reads failing protection-info verification
 	QuarantinedReads uint64 // guest reads refused on quarantined ranges
+
+	// Path-promotion accounting.
+	Promotions  uint64 // routed→direct transitions granted
+	Demotions   uint64 // direct→routed transitions (classifier hot-swap fences)
+	PromotedOps uint64 // guest commands dispatched via the direct mapping
 }
 
 // NewRouter creates a router with one worker per given host thread.
@@ -98,12 +113,31 @@ func NewRouter(env *sim.Env, costs RouterCosts, threads []*sim.Thread) *Router {
 		HTagReclaim:      200 * sim.Millisecond,
 	}
 	for i, th := range threads {
-		w := &worker{r: r, id: i, thread: th, wake: sim.NewCond(env)}
+		w := &worker{
+			r: r, id: i, thread: th, wake: sim.NewCond(env),
+			comps: ring.New(), ctrl: ring.New(),
+		}
 		r.workers = append(r.workers, w)
 		env.Go(fmt.Sprintf("router-w%d", i), w.run)
 	}
 	return r
 }
+
+// EnablePromotion turns on the adaptive path-promotion tier and
+// re-evaluates every attached tenant against the current promotion
+// criteria. Tenants whose classifier carries a proven constant fast-path
+// verdict collapse to the direct SQ→HSQ mapping on their next round.
+func (r *Router) EnablePromotion() {
+	r.promote = true
+	for _, w := range r.workers {
+		for _, vc := range w.vcs {
+			vc.refreshPromotion()
+		}
+	}
+}
+
+// PromotionEnabled reports whether the promotion tier is active.
+func (r *Router) PromotionEnabled() bool { return r.promote }
 
 // pathErrors returns the per-path error counter for target t.
 func (r *Router) pathErrors(t target) *uint64 {
@@ -120,21 +154,51 @@ func (r *Router) pathErrors(t target) *uint64 {
 // Workers returns the number of worker threads.
 func (r *Router) Workers() int { return len(r.workers) }
 
-// worker is one router polling thread.
+// ShardInfo is a diagnostic snapshot of one router worker (shard):
+// tenant assignment, per-tenant promotion state and inbox depths.
+type ShardInfo struct {
+	ID        int
+	Asleep    bool
+	VMs       []int  // attached VM IDs, attach order
+	Promoted  []bool // parallel to VMs: direct-mapping tenants
+	CompDepth int    // kernel-completion MPSC inbox depth
+	CtrlDepth int    // control-plane MPSC inbox depth
+	QoS       bool   // per-shard arbiter installed
+}
+
+// ShardInfos snapshots every worker for the control plane.
+func (r *Router) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, len(r.workers))
+	for i, w := range r.workers {
+		si := ShardInfo{
+			ID:        w.id,
+			Asleep:    w.asleep,
+			CompDepth: w.comps.Len(),
+			CtrlDepth: w.ctrl.Len(),
+			QoS:       w.qos != nil,
+		}
+		for _, vc := range w.vcs {
+			si.VMs = append(si.VMs, vc.vm.ID)
+			si.Promoted = append(si.Promoted, vc.promoted)
+		}
+		out[i] = si
+	}
+	return out
+}
+
+// worker is one router polling thread — a shard. It owns its tenants'
+// queues and QoS arbiter exclusively; the only state other contexts may
+// touch are the two MPSC inboxes and the parked flag behind the wake cond.
 type worker struct {
 	r      *Router
 	id     int
 	thread *sim.Thread
 	wake   *sim.Cond
 	vcs    []*Controller
-	kdone  []kdoneEntry
-	posted []func()
+	qos    *qos.Arbiter // nil until EnableQoS; per-shard arbiter state
+	comps  *ring.MPSC   // kernel-path completion fan-in
+	ctrl   *ring.MPSC   // control-plane posts (reconcile, promotion fences)
 	asleep bool
-}
-
-type kdoneEntry struct {
-	h      hop
-	status nvme.Status
 }
 
 // hint wakes the worker if it parked itself due to inactivity.
@@ -148,9 +212,10 @@ func (w *worker) hint() {
 // post queues fn to run as a routing effect on the worker's next
 // iteration — the external-work channel the supervision subsystem uses to
 // run reconciliation in worker context, where completions and retries are
-// flushed in the same round. Safe from any simulation context.
+// flushed in the same round. Safe from any simulation context; with real
+// shard threads the MPSC makes it safe from any thread.
 func (w *worker) post(fn func()) {
-	w.posted = append(w.posted, fn)
+	w.ctrl.Push(fn)
 	w.hint()
 }
 
@@ -166,13 +231,12 @@ func (w *worker) run(p *sim.Proc) {
 		// time it represents is charged in phase 2 before effects land.
 		var effects []func()
 
-		kd := w.kdone
-		w.kdone = nil
-		for _, e := range kd {
-			e := e
+		// Kernel-path completions fan in from other contexts through the
+		// lock-free inbox; drain what is visible this round.
+		w.comps.Drain(func(fn func()) {
 			work += c.PollVQ
-			effects = append(effects, func() { w.finishHop(e.h, targetKQ, e.status) })
-		}
+			effects = append(effects, fn)
+		})
 
 		for _, vc := range w.vcs {
 			work += c.PollVQ
@@ -192,14 +256,21 @@ func (w *worker) run(p *sim.Proc) {
 			for _, vq := range vc.vqs {
 				// New guest submissions (the arbitrated pass below handles
 				// these when QoS is enabled).
-				if w.r.qos == nil {
+				if w.qos == nil {
 					var cmd nvme.Command
 					for vq.vsq.Pop(&cmd) {
 						vc.outstanding++
 						outstanding++
 						req := &request{vq: vq, gcid: cmd.CID(), cmd: cmd, t0: w.r.env.Now()}
-						work += vc.classifyCost(c)
-						effects = append(effects, func() { w.classifyAndRoute(req, HookVSQ, 0) })
+						if vc.promoted {
+							// Promoted tenant: the classifier's verdict is a
+							// proven constant, so the hop maps SQ→HSQ
+							// directly — no classifier charge, no execution.
+							effects = append(effects, func() { w.directDispatch(req) })
+						} else {
+							work += vc.classifyCost(c)
+							effects = append(effects, func() { w.classifyAndRoute(req, HookVSQ, 0) })
+						}
 					}
 				}
 				// Fast-path completions.
@@ -231,22 +302,20 @@ func (w *worker) run(p *sim.Proc) {
 			}
 		}
 
-		// Externally posted work (supervision reconciliation) runs after
-		// the per-controller gather so NCQ completions consumed above
-		// cannot race the reconcile sweep within the round.
-		pd := w.posted
-		w.posted = nil
-		for _, fn := range pd {
+		// Externally posted work (supervision reconciliation, promotion
+		// fences) runs after the per-controller gather so NCQ completions
+		// consumed above cannot race the reconcile sweep within the round.
+		w.ctrl.Drain(func(fn func()) {
 			work += c.PollVQ
 			effects = append(effects, fn)
-		}
+		})
 
 		// Arbitrated admission pass: WFQ + token buckets + admission
 		// control decide which VSQ heads enter this round. Commands left
 		// throttled in their rings are backlog the worker must keep
 		// polling for (time must advance for buckets to refill).
 		backlog := 0
-		if w.r.qos != nil {
+		if w.qos != nil {
 			var admitted int
 			admitted, backlog = w.gatherQoS(&effects, &work)
 			outstanding += admitted

@@ -1,0 +1,390 @@
+package ebpf
+
+// Static-verdict analysis: the compile-tier pass behind adaptive path
+// promotion. StaticVerdict proves, over the pre-decoded op stream, that a
+// verifier-accepted program (a) returns the same constant r0 on every
+// reachable exit and (b) has no effect observable outside one invocation —
+// no ctx or map-value stores, no map mutation, no QoS class override, no
+// custom helpers. A router holding such a proof may skip executing the
+// classifier entirely and hard-wire its constant verdict, because running
+// the program could neither return anything else nor change any state the
+// dispatch path reads.
+//
+// The analysis is a forward abstract interpretation over the same lattice
+// family the verifier uses, but tracking concrete constants: each register
+// is Const(v), a pointer of known provenance (ctx, stack, or a helper
+// window), a map reference, or Unknown. ALU ops fold constants with
+// bit-for-bit RunCompiled semantics; conditional jumps with Const operands
+// follow only the taken edge (so verdicts that differ only on statically
+// dead branches still prove constant); everything else joins both edges.
+// Stack stores are invisible outside the invocation (the VM clears the
+// frame per run) and are allowed; any other store, and any helper beyond
+// the pure lookup/prandom pair, vetoes the proof.
+//
+// Soundness leans on the verifier having already accepted the program:
+// accepted programs cannot fault (memory bounds and register init are
+// proven) and cannot loop (the CFG is a DAG), so "every reachable exit
+// returns C" is equivalent to "every invocation returns C".
+
+// Abstract register kinds. Non-const kinds keep n == 0 so aval values
+// compare with ==.
+const (
+	avUnknown uint8 = iota // any scalar or pointer
+	avConst                // scalar with known value n
+	avCtx                  // pointer into the ctx window
+	avStack                // pointer into the VM stack frame
+	avPtr                  // pointer with other provenance (map value)
+	avMap                  // map reference
+)
+
+// aval is one register's abstract value.
+type aval struct {
+	k uint8
+	n uint64
+}
+
+// astate is the abstract machine state at one op boundary.
+type astate [NumRegs]aval
+
+func (v aval) isPtr() bool { return v.k == avCtx || v.k == avStack || v.k == avPtr }
+
+// joinVal merges two abstract values at a control-flow join.
+func joinVal(a, b aval) aval {
+	if a == b {
+		return a
+	}
+	if a.k == b.k && a.k != avConst {
+		return aval{k: a.k}
+	}
+	return aval{k: avUnknown}
+}
+
+// staticBudget bounds the worklist in abstract steps per op; the lattice
+// converges far earlier, this is a defensive cap only.
+const staticBudget = 256
+
+// StaticVerdict reports whether the program provably returns the same
+// constant on every reachable path with no externally observable effect,
+// and if so, that constant.
+func (cp *CompiledProgram) StaticVerdict() (verdict uint64, ok bool) {
+	n := len(cp.ops)
+	if n == 0 {
+		return 0, false
+	}
+	states := make([]astate, n)
+	queued := make([]bool, n)
+	seen := make([]bool, n)
+
+	var entry astate
+	entry[R1] = aval{k: avCtx}
+	entry[R10] = aval{k: avStack}
+	states[0] = entry
+	seen[0] = true
+	work := []int{0}
+	queued[0] = true
+
+	// flow propagates state s into op t, requeueing t on change.
+	flow := func(t int, s *astate) {
+		if t < 0 || t >= n {
+			return
+		}
+		if !seen[t] {
+			seen[t] = true
+			states[t] = *s
+		} else {
+			merged := states[t]
+			changed := false
+			for i := range merged {
+				j := joinVal(merged[i], s[i])
+				if j != merged[i] {
+					merged[i] = j
+					changed = true
+				}
+			}
+			if !changed {
+				return
+			}
+			states[t] = merged
+		}
+		if !queued[t] {
+			queued[t] = true
+			work = append(work, t)
+		}
+	}
+
+	var (
+		haveVerdict bool
+		steps       int
+	)
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[pc] = false
+		steps++
+		if steps > n*staticBudget {
+			return 0, false // defensive: analysis did not converge
+		}
+		s := states[pc]
+		o := &cp.ops[pc]
+		switch o.code {
+		case cExit:
+			r0 := s[R0]
+			if r0.k != avConst {
+				return 0, false
+			}
+			if haveVerdict && r0.n != verdict {
+				return 0, false
+			}
+			verdict, haveVerdict = r0.n, true
+			continue
+
+		case cMovImm:
+			s[o.dst] = aval{k: avConst, n: o.imm}
+		case cLdMap:
+			s[o.dst] = aval{k: avMap}
+		case cMovReg:
+			s[o.dst] = s[o.src]
+		case cMovReg32:
+			if v := s[o.src]; v.k == avConst {
+				s[o.dst] = aval{k: avConst, n: uint64(uint32(v.n))}
+			} else {
+				s[o.dst] = aval{k: avUnknown}
+			}
+
+		case cAddReg, cSubReg:
+			d, r := s[o.dst], s[o.src]
+			switch {
+			case d.isPtr() && r.k == avConst || d.isPtr() && r.k == avUnknown:
+				// Pointer arithmetic moves the offset; provenance survives.
+				s[o.dst] = aval{k: d.k}
+			case d.k == avConst && r.k == avConst:
+				if o.code == cAddReg {
+					s[o.dst] = aval{k: avConst, n: d.n + r.n}
+				} else {
+					s[o.dst] = aval{k: avConst, n: d.n - r.n}
+				}
+			default:
+				s[o.dst] = aval{k: avUnknown}
+			}
+		case cAddImm, cSubImm:
+			d := s[o.dst]
+			switch {
+			case d.isPtr():
+				s[o.dst] = aval{k: d.k}
+			case d.k == avConst:
+				if o.code == cAddImm {
+					s[o.dst] = aval{k: avConst, n: d.n + o.imm}
+				} else {
+					s[o.dst] = aval{k: avConst, n: d.n - o.imm}
+				}
+			default:
+				s[o.dst] = aval{k: avUnknown}
+			}
+
+		case cMulReg, cDivReg, cModReg, cOrReg, cAndReg, cXorReg,
+			cLshReg, cRshReg, cArshReg,
+			cAddReg32, cSubReg32, cMulReg32, cDivReg32, cModReg32,
+			cOrReg32, cAndReg32, cXorReg32, cLshReg32, cRshReg32, cArshReg32:
+			d, r := s[o.dst], s[o.src]
+			if d.k == avConst && r.k == avConst {
+				s[o.dst] = aval{k: avConst, n: foldALU(o.code, d.n, r.n)}
+			} else {
+				s[o.dst] = aval{k: avUnknown}
+			}
+		case cMulImm, cDivImm, cModImm, cOrImm, cAndImm, cXorImm,
+			cLshImm, cRshImm, cArshImm,
+			cAddImm32, cSubImm32, cMulImm32, cDivImm32, cModImm32,
+			cOrImm32, cAndImm32, cXorImm32, cLshImm32, cRshImm32, cArshImm32:
+			if d := s[o.dst]; d.k == avConst {
+				s[o.dst] = aval{k: avConst, n: foldALU(o.code, d.n, o.imm)}
+			} else {
+				s[o.dst] = aval{k: avUnknown}
+			}
+		case cNeg:
+			if d := s[o.dst]; d.k == avConst {
+				s[o.dst] = aval{k: avConst, n: -d.n}
+			} else {
+				s[o.dst] = aval{k: avUnknown}
+			}
+		case cNeg32:
+			if d := s[o.dst]; d.k == avConst {
+				s[o.dst] = aval{k: avConst, n: uint64(uint32(-uint32(d.n)))}
+			} else {
+				s[o.dst] = aval{k: avUnknown}
+			}
+
+		case cLd8, cLd16, cLd32, cLd64:
+			// Loads are pure; the loaded value is runtime-dependent.
+			s[o.dst] = aval{k: avUnknown}
+
+		case cSt8, cSt16, cSt32, cSt64, cStImm8, cStImm16, cStImm32, cStImm64:
+			// Stack stores die with the invocation (the VM clears the
+			// dirtied frame before the next run); any other destination —
+			// ctx, a map value window, or unknown provenance — is an
+			// observable effect and vetoes the proof.
+			if s[o.dst].k != avStack {
+				return 0, false
+			}
+
+		case cJa:
+			flow(int(o.off), &s)
+			continue
+		case cJEqImm, cJNeImm, cJGtImm, cJGeImm, cJLtImm, cJLeImm,
+			cJSGtImm, cJSGeImm, cJSLtImm, cJSLeImm, cJSetImm:
+			if d := s[o.dst]; d.k == avConst {
+				if evalCond(o.code, d.n, o.imm) {
+					flow(int(o.off), &s)
+				} else {
+					flow(pc+1, &s)
+				}
+				continue
+			}
+			flow(int(o.off), &s)
+			flow(pc+1, &s)
+			continue
+		case cJEqReg, cJNeReg, cJGtReg, cJGeReg, cJLtReg, cJLeReg,
+			cJSGtReg, cJSGeReg, cJSLtReg, cJSLeReg, cJSetReg:
+			d, r := s[o.dst], s[o.src]
+			if d.k == avConst && r.k == avConst {
+				if evalCond(o.code-(cJEqReg-cJEqImm), d.n, r.n) {
+					flow(int(o.off), &s)
+				} else {
+					flow(pc+1, &s)
+				}
+				continue
+			}
+			flow(int(o.off), &s)
+			flow(pc+1, &s)
+			continue
+
+		case cCallLookup, cCallPrandom:
+			// Pure: lookup returns a map-value pointer or null and mutates
+			// nothing; prandom derives from the invocation counter without
+			// advancing state. Result and caller-saved registers become
+			// unknown, exactly as RunCompiled clobbers them.
+			for _, reg := range [...]uint8{R0, R1, R2, R3, R4, R5} {
+				s[reg] = aval{k: avUnknown}
+			}
+
+		case cCallUpdate, cCallDelete, cCallQoS, cCallGeneric:
+			// Map mutation, per-command QoS class override, or an arbitrary
+			// registered helper: externally observable.
+			return 0, false
+
+		default:
+			return 0, false
+		}
+		flow(pc+1, &s)
+	}
+	if !haveVerdict {
+		return 0, false
+	}
+	return verdict, true
+}
+
+// foldALU replicates RunCompiled's ALU semantics on two known scalars.
+// Register and immediate forms share semantics (immediates were pre-widened
+// and shift immediates pre-masked at compile time, matching the masking
+// applied to register operands here).
+func foldALU(code copCode, a, b uint64) uint64 {
+	switch code {
+	case cMulReg, cMulImm:
+		return a * b
+	case cDivReg, cDivImm:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case cModReg, cModImm:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case cOrReg, cOrImm:
+		return a | b
+	case cAndReg, cAndImm:
+		return a & b
+	case cXorReg, cXorImm:
+		return a ^ b
+	case cLshReg:
+		return a << (b & 63)
+	case cLshImm:
+		return a << b
+	case cRshReg:
+		return a >> (b & 63)
+	case cRshImm:
+		return a >> b
+	case cArshReg:
+		return uint64(int64(a) >> (b & 63))
+	case cArshImm:
+		return uint64(int64(a) >> b)
+
+	case cAddReg32, cAddImm32:
+		return uint64(uint32(a) + uint32(b))
+	case cSubReg32, cSubImm32:
+		return uint64(uint32(a) - uint32(b))
+	case cMulReg32, cMulImm32:
+		return uint64(uint32(a) * uint32(b))
+	case cDivReg32, cDivImm32:
+		if uint32(b) == 0 {
+			return 0
+		}
+		return uint64(uint32(a) / uint32(b))
+	case cModReg32, cModImm32:
+		if uint32(b) == 0 {
+			return uint64(uint32(a))
+		}
+		return uint64(uint32(a) % uint32(b))
+	case cOrReg32, cOrImm32:
+		return uint64(uint32(a) | uint32(b))
+	case cAndReg32, cAndImm32:
+		return uint64(uint32(a) & uint32(b))
+	case cXorReg32, cXorImm32:
+		return uint64(uint32(a) ^ uint32(b))
+	case cLshReg32:
+		return uint64(uint32(uint64(uint32(a)) << (uint64(uint32(b)) & 63)))
+	case cLshImm32:
+		return uint64(uint32(uint64(uint32(a)) << b))
+	case cRshReg32:
+		return uint64(uint32(uint64(uint32(a)) >> (uint64(uint32(b)) & 63)))
+	case cRshImm32:
+		return uint64(uint32(uint64(uint32(a)) >> b))
+	case cArshReg32:
+		return uint64(uint32(int32(uint32(a)) >> (uint64(uint32(b)) & 31)))
+	case cArshImm32:
+		return uint64(uint32(int32(uint32(a)) >> b))
+	}
+	return 0
+}
+
+// evalCond replicates the immediate-form branch predicates on two known
+// scalars (register forms are normalized to the immediate opcode by the
+// caller). cmpBase is the identity on scalars, so Const operands compare
+// exactly as at runtime.
+func evalCond(code copCode, a, b uint64) bool {
+	switch code {
+	case cJEqImm:
+		return a == b
+	case cJNeImm:
+		return a != b
+	case cJGtImm:
+		return a > b
+	case cJGeImm:
+		return a >= b
+	case cJLtImm:
+		return a < b
+	case cJLeImm:
+		return a <= b
+	case cJSGtImm:
+		return int64(a) > int64(b)
+	case cJSGeImm:
+		return int64(a) >= int64(b)
+	case cJSLtImm:
+		return int64(a) < int64(b)
+	case cJSLeImm:
+		return int64(a) <= int64(b)
+	case cJSetImm:
+		return a&b != 0
+	}
+	return false
+}

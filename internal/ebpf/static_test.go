@@ -1,0 +1,216 @@
+package ebpf
+
+import "testing"
+
+// staticCtxSize mirrors the router's classifier ctx window.
+const staticCtxSize = 96
+
+func mustCompile(t *testing.T, b *Builder, name string) *CompiledProgram {
+	t.Helper()
+	p := b.MustProgram(name)
+	cp, err := Compile(p, &Verifier{CtxSize: staticCtxSize})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return cp
+}
+
+// TestStaticVerdictConstant proves the canonical fast-path classifier: a
+// single constant return.
+func TestStaticVerdictConstant(t *testing.T) {
+	b := NewBuilder()
+	b.MovImm64(R0, 0x410000).Exit()
+	cp := mustCompile(t, b, "const")
+	v, ok := cp.StaticVerdict()
+	if !ok || v != 0x410000 {
+		t.Fatalf("StaticVerdict = %#x, %v; want 0x410000, true", v, ok)
+	}
+	// Cross-check against actual execution.
+	vm := NewVM(nil)
+	got, err := vm.RunCompiled(cp, make([]byte, staticCtxSize))
+	if err != nil || got != v {
+		t.Fatalf("RunCompiled = %#x, %v; want %#x", got, err, v)
+	}
+}
+
+// TestStaticVerdictDeadBranch: a branch whose condition folds to a constant
+// leaves the divergent verdict unreachable, so the proof still holds.
+func TestStaticVerdictDeadBranch(t *testing.T) {
+	b := NewBuilder()
+	b.MovImm(R6, 5)
+	b.JumpImm(JmpEq, R6, 5, "fast")
+	b.MovImm64(R0, 0x999).Exit() // statically dead
+	b.Label("fast")
+	b.MovImm64(R0, 0x410000).Exit()
+	cp := mustCompile(t, b, "deadbranch")
+	v, ok := cp.StaticVerdict()
+	if !ok || v != 0x410000 {
+		t.Fatalf("StaticVerdict = %#x, %v; want 0x410000, true", v, ok)
+	}
+}
+
+// TestStaticVerdictDataBranchSameConst: a runtime-dependent branch whose
+// arms agree still proves constant.
+func TestStaticVerdictDataBranchSameConst(t *testing.T) {
+	b := NewBuilder()
+	b.Load(SizeW, R2, R1, 0)
+	b.JumpImm(JmpEq, R2, 0, "a")
+	b.MovImm64(R0, 0x410000).Exit()
+	b.Label("a")
+	b.MovImm64(R0, 0x410000).Exit()
+	cp := mustCompile(t, b, "same-const")
+	v, ok := cp.StaticVerdict()
+	if !ok || v != 0x410000 {
+		t.Fatalf("StaticVerdict = %#x, %v; want 0x410000, true", v, ok)
+	}
+}
+
+// TestStaticVerdictDataBranchDiffers: arms that disagree based on a loaded
+// value must not prove.
+func TestStaticVerdictDataBranchDiffers(t *testing.T) {
+	b := NewBuilder()
+	b.Load(SizeW, R2, R1, 0)
+	b.JumpImm(JmpEq, R2, 0, "a")
+	b.MovImm64(R0, 0x410000).Exit()
+	b.Label("a")
+	b.MovImm64(R0, 0x20000).Exit()
+	cp := mustCompile(t, b, "diff-const")
+	if _, ok := cp.StaticVerdict(); ok {
+		t.Fatal("StaticVerdict proved a data-dependent verdict")
+	}
+}
+
+// TestStaticVerdictCtxStoreImpure: writing the command back through ctx is
+// an observable effect.
+func TestStaticVerdictCtxStoreImpure(t *testing.T) {
+	b := NewBuilder()
+	b.StoreImm(SizeW, R1, 0, 7)
+	b.MovImm64(R0, 0x410000).Exit()
+	cp := mustCompile(t, b, "ctx-store")
+	if _, ok := cp.StaticVerdict(); ok {
+		t.Fatal("StaticVerdict proved a ctx-writing program")
+	}
+}
+
+// TestStaticVerdictStackStorePure: scratch writes die with the invocation
+// and must not veto the proof.
+func TestStaticVerdictStackStorePure(t *testing.T) {
+	b := NewBuilder()
+	b.StoreImm(SizeDW, R10, -8, 42)
+	b.Load(SizeDW, R3, R10, -8)
+	b.MovImm64(R0, 0x410000).Exit()
+	cp := mustCompile(t, b, "stack-store")
+	v, ok := cp.StaticVerdict()
+	if !ok || v != 0x410000 {
+		t.Fatalf("StaticVerdict = %#x, %v; want 0x410000, true", v, ok)
+	}
+}
+
+// TestStaticVerdictLookupPure: an unused map lookup is side-effect free.
+func TestStaticVerdictLookupPure(t *testing.T) {
+	m := NewArrayMap(8, 4)
+	b := NewBuilder()
+	b.StoreImm(SizeW, R10, -4, 0)
+	b.LoadMap(R1, m)
+	b.MovReg(R2, R10)
+	b.AddImm(R2, -4)
+	b.Call(HelperMapLookup)
+	b.MovImm64(R0, 0x410000).Exit()
+	cp := mustCompile(t, b, "lookup")
+	v, ok := cp.StaticVerdict()
+	if !ok || v != 0x410000 {
+		t.Fatalf("StaticVerdict = %#x, %v; want 0x410000, true", v, ok)
+	}
+}
+
+// TestStaticVerdictLookupBranchImpure: the partition-classifier shape —
+// verdict depends on a null check of the lookup — must not prove.
+func TestStaticVerdictLookupBranchImpure(t *testing.T) {
+	m := NewArrayMap(8, 4)
+	b := NewBuilder()
+	b.StoreImm(SizeW, R10, -4, 0)
+	b.LoadMap(R1, m)
+	b.MovReg(R2, R10)
+	b.AddImm(R2, -4)
+	b.Call(HelperMapLookup)
+	b.JumpImm(JmpEq, R0, 0, "miss")
+	b.MovImm64(R0, 0x410000).Exit()
+	b.Label("miss")
+	b.MovImm64(R0, 0x20000).Exit()
+	cp := mustCompile(t, b, "lookup-branch")
+	if _, ok := cp.StaticVerdict(); ok {
+		t.Fatal("StaticVerdict proved a lookup-dependent verdict")
+	}
+}
+
+// TestStaticVerdictQoSImpure: qos_set_class overrides the per-command QoS
+// class — observable by the arbiter even with a constant return.
+func TestStaticVerdictQoSImpure(t *testing.T) {
+	b := NewBuilder()
+	b.MovImm(R1, 1)
+	b.Call(HelperQoSSetClass)
+	b.MovImm64(R0, 0x410000).Exit()
+	cp := mustCompile(t, b, "qos")
+	if _, ok := cp.StaticVerdict(); ok {
+		t.Fatal("StaticVerdict proved a qos_set_class program")
+	}
+}
+
+// TestStaticVerdictUpdateImpure: map mutation vetoes the proof.
+func TestStaticVerdictUpdateImpure(t *testing.T) {
+	m := NewArrayMap(8, 4)
+	b := NewBuilder()
+	b.StoreImm(SizeW, R10, -4, 0)
+	b.StoreImm(SizeDW, R10, -16, 1)
+	b.LoadMap(R1, m)
+	b.MovReg(R2, R10)
+	b.AddImm(R2, -4)
+	b.MovReg(R3, R10)
+	b.AddImm(R3, -16)
+	b.MovImm(R4, 0)
+	b.Call(HelperMapUpdate)
+	b.MovImm64(R0, 0x410000).Exit()
+	cp := mustCompile(t, b, "update")
+	if _, ok := cp.StaticVerdict(); ok {
+		t.Fatal("StaticVerdict proved a map-updating program")
+	}
+}
+
+// TestStaticVerdictFoldedALU: the verdict may be computed, not just loaded,
+// as long as every operand folds.
+func TestStaticVerdictFoldedALU(t *testing.T) {
+	b := NewBuilder()
+	b.MovImm(R0, 0x41)
+	b.ALUImm(ALULsh, R0, 16)
+	cp := mustCompile(t, b.Exit(), "alu")
+	v, ok := cp.StaticVerdict()
+	if !ok || v != 0x410000 {
+		t.Fatalf("StaticVerdict = %#x, %v; want 0x410000, true", v, ok)
+	}
+	vm := NewVM(nil)
+	got, err := vm.RunCompiled(cp, make([]byte, staticCtxSize))
+	if err != nil || got != v {
+		t.Fatalf("RunCompiled = %#x, %v; want %#x", got, err, v)
+	}
+}
+
+// TestStaticVerdictPrandomPure: prandom is pure (no state advanced) but its
+// result is unknown — using it as the verdict must not prove, ignoring it
+// must.
+func TestStaticVerdictPrandomPure(t *testing.T) {
+	b := NewBuilder()
+	b.Call(HelperGetPrandom)
+	b.MovImm64(R0, 0x410000).Exit()
+	cp := mustCompile(t, b, "prandom-ignored")
+	if v, ok := cp.StaticVerdict(); !ok || v != 0x410000 {
+		t.Fatalf("StaticVerdict = %#x, %v; want 0x410000, true", v, ok)
+	}
+
+	b2 := NewBuilder()
+	b2.Call(HelperGetPrandom)
+	b2.Exit() // r0 = random
+	cp2 := mustCompile(t, b2, "prandom-verdict")
+	if _, ok := cp2.StaticVerdict(); ok {
+		t.Fatal("StaticVerdict proved a random verdict")
+	}
+}

@@ -89,11 +89,14 @@ type bootstormRun struct {
 // runBootstorm builds the storm testbed: one host with a guest core per
 // tenant, the golden image(s), N cloned namespaces, the boot-profile fio
 // phase, a per-tenant divergence write, and a checkpoint of every clone.
-func runBootstorm(o Options, vms int, imgBlocks, cacheChunks uint64, shared bool) bootstormRun {
+// shards > 0 routes the whole fleet through the per-core sharded dispatch
+// subsystem (one core per shard) instead of a router per tenant; zero
+// keeps the original layout, byte-identical to the pre-shard goldens.
+func runBootstorm(o Options, vms int, imgBlocks, cacheChunks uint64, shared bool, shards int) bootstormRun {
 	env := sim.New(o.Seed + 1)
 	defer env.Close()
 	p := stack.DefaultParams()
-	h := stack.NewHost(env, vms+8, vms, p, device.NullStore{})
+	h := stack.NewHost(env, vms+8+shards, vms, p, device.NullStore{})
 
 	payload := bootPayload(imgBlocks)
 	newImage := func(chunks uint64) *stack.GoldenImage {
@@ -111,7 +114,11 @@ func runBootstorm(o Options, vms int, imgBlocks, cacheChunks uint64, shared bool
 		stores []*cow.Store
 	)
 	mkSol := func(img *stack.GoldenImage) *stack.NVMetro {
-		return stack.NewNVMetro(h).WithIntegrity(scrubConfig()).WithSnapshots(img)
+		sol := stack.NewNVMetro(h)
+		if shards > 0 {
+			sol = stack.NewNVMetroSharded(h, shards)
+		}
+		return sol.WithIntegrity(scrubConfig()).WithSnapshots(img)
 	}
 	if shared {
 		img := newImage(cacheChunks)
@@ -281,17 +288,26 @@ func bootstormTable(o Options) *Table {
 		r    *bootstormRun
 	}
 	var cells []cell
-	queue := func(name string, vms int, blocks uint64, shared bool) {
+	queue := func(name string, vms int, blocks uint64, shared bool, shards int) {
 		r := shard(g, func() bootstormRun {
-			return runBootstorm(o, vms, blocks, bootCacheChunks, shared)
+			return runBootstorm(o, vms, blocks, bootCacheChunks, shared, shards)
 		})
 		cells = append(cells, cell{name, vms, r})
 	}
 	for _, n := range fleets {
-		queue(fmt.Sprintf("shared N=%d", n), n, imgBlocks, true)
-		queue(fmt.Sprintf("flat N=%d", n), n, imgBlocks, false)
+		queue(fmt.Sprintf("shared N=%d", n), n, imgBlocks, true, 0)
+		queue(fmt.Sprintf("flat N=%d", n), n, imgBlocks, false, 0)
 	}
-	queue(fmt.Sprintf("shared N=%d img x4", fleets[0]), fleets[0], imgBlocks*4, true)
+	queue(fmt.Sprintf("shared N=%d img x4", fleets[0]), fleets[0], imgBlocks*4, true, 0)
+	// The sharded cell sends the whole storm through the per-core shard
+	// fleet (scale-sweep sizing rule: one shard per 16 tenants, max 64) —
+	// at the full 1024-tenant fleet this is the paper's boot-storm-at-scale
+	// configuration, and the same integrity/divergence predicate must hold.
+	stormN := 1024
+	if o.Quick {
+		stormN = 32
+	}
+	queue(fmt.Sprintf("sharded N=%d", stormN), stormN, imgBlocks, true, scaleShards(stormN))
 	g.Run()
 	for _, c := range cells {
 		r := *c.r
@@ -316,6 +332,6 @@ func bootstormTable(o Options) *Table {
 			float64(r.guardBad),
 			ok)
 	}
-	t.Notes = "same total cache budget per row pair; hit_ratio = content-cache hits/lookups; ok = drained, guard_bad=0, every tenant diverged, golden CRCs unchanged, clone copied zero chunks"
+	t.Notes = "same total cache budget per row pair; hit_ratio = content-cache hits/lookups; ok = drained, guard_bad=0, every tenant diverged, golden CRCs unchanged, clone copied zero chunks; sharded row runs the fleet through the per-core shard router (1 shard per 16 VMs, max 64)"
 	return t
 }

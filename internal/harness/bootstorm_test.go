@@ -13,8 +13,8 @@ func TestBootStormE2E(t *testing.T) {
 	}
 	o := Options{Quick: true, Seed: 7}
 	const vms = 128
-	shared := runBootstorm(o, vms, bootImageBlocksQuick, bootCacheChunks, true)
-	flat := runBootstorm(o, vms, bootImageBlocksQuick, bootCacheChunks, false)
+	shared := runBootstorm(o, vms, bootImageBlocksQuick, bootCacheChunks, true, 0)
+	flat := runBootstorm(o, vms, bootImageBlocksQuick, bootCacheChunks, false, 0)
 
 	for name, r := range map[string]bootstormRun{"shared": shared, "flat": flat} {
 		if !r.drained {
@@ -62,8 +62,8 @@ func TestBootStormE2E(t *testing.T) {
 // cloning copy chunks.
 func TestBootStormCloneCostFlat(t *testing.T) {
 	o := Options{Quick: true, Seed: 11}
-	small := runBootstorm(o, 8, bootImageBlocksQuick, bootCacheChunks, true)
-	big := runBootstorm(o, 8, 4*bootImageBlocksQuick, bootCacheChunks, true)
+	small := runBootstorm(o, 8, bootImageBlocksQuick, bootCacheChunks, true, 0)
+	big := runBootstorm(o, 8, 4*bootImageBlocksQuick, bootCacheChunks, true, 0)
 	if small.cloneLayers != big.cloneLayers {
 		t.Errorf("clone layers grew with image size: %d -> %d", small.cloneLayers, big.cloneLayers)
 	}
@@ -77,8 +77,8 @@ func TestBootStormCloneCostFlat(t *testing.T) {
 // for the bootstorm table.
 func TestBootStormDeterminism(t *testing.T) {
 	o := Options{Quick: true, Seed: 3}
-	a := runBootstorm(o, 8, bootImageBlocksQuick, bootCacheChunks, true)
-	b := runBootstorm(o, 8, bootImageBlocksQuick, bootCacheChunks, true)
+	a := runBootstorm(o, 8, bootImageBlocksQuick, bootCacheChunks, true, 0)
+	b := runBootstorm(o, 8, bootImageBlocksQuick, bootCacheChunks, true, 0)
 	if !a.counters.Equal(&b.counters) {
 		t.Fatalf("same-seed counter records differ:\n%s\n%s", a.counters.String(), b.counters.String())
 	}

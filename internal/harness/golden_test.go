@@ -26,7 +26,7 @@ func TestGoldenCSVs(t *testing.T) {
 		ids = []string{
 			"fig3", "fig4", "fig5", "fig6", "qos", "fault",
 			"resync", "cache", "chaos", "scrub", "bootstorm",
-			"table1", "table2",
+			"scale", "table1", "table2",
 		}
 	}
 	covered := map[string]bool{}

@@ -13,11 +13,12 @@ import (
 // Table I or the boot-storm fleet results at the recorded seed.
 func TestResultsCSVs(t *testing.T) {
 	ids := []string{"table1"}
-	// The full 128-VM boot-storm fleet is minutes of single-threaded
-	// simulation under the race detector for a check that is purely about
-	// deterministic bytes; the plain `go test ./...` tier covers it.
+	// The full 1024-VM boot-storm and scale fleets are minutes of
+	// single-threaded simulation under the race detector for a check that
+	// is purely about deterministic bytes; the plain `go test ./...` tier
+	// covers them.
 	if !testing.Short() && !raceEnabled {
-		ids = append(ids, "bootstorm")
+		ids = append(ids, "bootstorm", "scale")
 	}
 	for _, id := range ids {
 		id := id

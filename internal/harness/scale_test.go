@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runScaleQuick renders the quick-mode scale table for a worker count.
+func runScaleQuick(t *testing.T, workers int) *Table {
+	t.Helper()
+	e, ok := Get("scale")
+	if !ok {
+		t.Fatal("scale experiment not registered")
+	}
+	tabs := e.Run(Options{Quick: true, Seed: 1, Workers: workers})
+	if len(tabs) != 1 {
+		t.Fatalf("scale produced %d tables, want 1", len(tabs))
+	}
+	return tabs[0]
+}
+
+// TestScaleGoldenAnyWorkers: the scale CSV is a pure function of the seed —
+// the harness worker count (how many sweep cells run concurrently on the
+// real machine) must not leak into the simulated results.
+func TestScaleGoldenAnyWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep; skipped in -short")
+	}
+	base := runScaleQuick(t, 1).CSV()
+	for _, w := range []int{2, 8} {
+		if got := runScaleQuick(t, w).CSV(); got != base {
+			t.Errorf("scale CSV diverges at -workers %d:\n--- workers=%d ---\n%s--- workers=1 ---\n%s",
+				w, w, got, base)
+		}
+	}
+}
+
+// scaleCol extracts a named column from the scale table as floats, keyed by
+// the row's VM count parsed from its "N=%d" config label.
+func scaleCol(t *testing.T, tbl *Table, name string) map[int]float64 {
+	t.Helper()
+	col := -1
+	for i, c := range tbl.Cols {
+		if c == name {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("column %q not in %v", name, tbl.Cols)
+	}
+	out := map[int]float64{}
+	for _, row := range tbl.Rows {
+		n, err := strconv.Atoi(strings.TrimPrefix(row.Label, "N="))
+		if err != nil {
+			t.Fatalf("row label %q: %v", row.Label, err)
+		}
+		out[n] = row.Cells[col]
+	}
+	return out
+}
+
+// TestScaleShape checks the deliverable's acceptance surface on the quick
+// sweep: every cell passes its own ok predicate, aggregate IOPS grows
+// near-linearly with the fleet, and p99 at the largest fleet stays within
+// 1.5x of the single-VM point.
+func TestScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep; skipped in -short")
+	}
+	tbl := runScaleQuick(t, 0)
+	oks := scaleCol(t, tbl, "ok")
+	kiops := scaleCol(t, tbl, "kiops")
+	p99 := scaleCol(t, tbl, "p99_us")
+	episodes := scaleCol(t, tbl, "episode")
+
+	sizes := make([]int, 0, len(oks))
+	maxN, epN := 0, 0
+	for n := range oks {
+		sizes = append(sizes, n)
+		if n > maxN {
+			maxN = n
+		}
+	}
+	for n, ok := range oks {
+		if ok != 1 {
+			t.Errorf("N=%d failed its ok predicate", n)
+		}
+		if episodes[n] == 1 {
+			epN = n
+		}
+	}
+	if epN == 0 {
+		t.Error("no row ran the promotion/demotion episode")
+	}
+
+	// Near-linear: per-VM throughput at the largest fleet holds at least
+	// 70% of the single-VM point (the paper's near-linear bar; measured
+	// headroom is ~84% even at 1024 VMs in full mode).
+	perVM1 := kiops[1]
+	perVMMax := kiops[maxN] / float64(maxN)
+	if perVMMax < 0.70*perVM1 {
+		t.Errorf("aggregate IOPS not near-linear: %.2f kiops/VM at N=%d vs %.2f at N=1",
+			perVMMax, maxN, perVM1)
+	}
+
+	// p99 flatness across the sweep, not just the endpoint.
+	for _, n := range sizes {
+		if p99[n] > 1.5*p99[1] {
+			t.Errorf("p99 at N=%d is %.1fus, more than 1.5x the 1-VM %.1fus",
+				n, p99[n], p99[1])
+		}
+	}
+}

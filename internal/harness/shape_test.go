@@ -168,7 +168,7 @@ func TestShapeCPUOrdering(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fault", "resync", "cache", "qos", "chaos", "scrub", "bootstorm"}
+	want := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fault", "resync", "cache", "qos", "chaos", "scrub", "bootstorm", "scale"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Errorf("experiment %s not registered", id)

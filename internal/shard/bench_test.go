@@ -1,0 +1,52 @@
+package shard_test
+
+import (
+	"testing"
+
+	"nvmetro/internal/sim"
+	"nvmetro/internal/vm"
+)
+
+// BenchmarkShardDispatch measures one 4 KiB read round trip through the
+// sharded fleet, routed (classifier executes every command) against
+// promoted (direct SQ→HSQ mapping, classifier elided) — the host-side cost
+// the promotion tier removes.
+func BenchmarkShardDispatch(b *testing.B) {
+	for _, tier := range []string{"routed", "promoted"} {
+		b.Run(tier, func(b *testing.B) {
+			bench := newBench(2, 2)
+			defer bench.env.Close()
+			if tier == "promoted" {
+				bench.fleet.EnablePromotion()
+			}
+			bases := make([]uint64, 2)
+			pages := make([][]uint64, 2)
+			for i := range bases {
+				base, pg, err := bench.vms[i].Mem.AllocBuffer(4096)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bases[i], pages[i] = base, pg
+			}
+			done := false
+			bench.env.Go("bench", func(p *sim.Proc) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t := i % 2
+					req := &vm.Req{Op: vm.OpRead, LBA: uint64(i%1024) * 8, Blocks: 8,
+						Buf: bases[t], BufPages: pages[t]}
+					if st := vm.SubmitAndWait(p, bench.disks[t], bench.vms[t].VCPU(0), req); !st.OK() {
+						b.Fatalf("io %d failed: %v", i, st)
+					}
+				}
+				b.StopTimer()
+				done = true
+				bench.env.Stop()
+			})
+			bench.env.RunUntil(sim.Time(1 << 62))
+			if !done {
+				b.Fatal("benchmark did not finish")
+			}
+		})
+	}
+}

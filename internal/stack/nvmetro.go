@@ -8,6 +8,7 @@ import (
 	"nvmetro/internal/nvmeof"
 	"nvmetro/internal/qos"
 	"nvmetro/internal/sgx"
+	"nvmetro/internal/shard"
 	"nvmetro/internal/sim"
 	"nvmetro/internal/storfn"
 	"nvmetro/internal/supervise"
@@ -25,8 +26,14 @@ type NVMetro struct {
 	// shared by all VMs (the Fig. 5 scalability setup); otherwise each VM
 	// gets its own router worker (the main evaluation setup).
 	SharedWorkers int
+	// Shards > 0 runs the per-core sharded dispatch subsystem instead:
+	// a shard.Fleet with that many shards, least-loaded tenant placement
+	// and the adaptive path-promotion tier enabled (the scale sweep
+	// configuration). Mutually exclusive with SharedWorkers.
+	Shards int
 
 	shared     *core.Router
+	fl         *shard.Fleet
 	fw         *uif.Framework
 	setup      func(vc *core.Controller)
 	name       string
@@ -69,6 +76,33 @@ func NewNVMetroShared(h *Host, workers int) *NVMetro {
 	return &NVMetro{h: h, SharedWorkers: workers, name: "NVMetro", byVM: make(map[*vm.VM]*core.Controller)}
 }
 
+// NewNVMetroSharded creates the per-core sharded configuration: tenants
+// spread over a fleet of per-core dispatch shards with adaptive path
+// promotion enabled (package shard).
+func NewNVMetroSharded(h *Host, shards int) *NVMetro {
+	return &NVMetro{h: h, Shards: shards, name: "NVMetro Sharded", byVM: make(map[*vm.VM]*core.Controller)}
+}
+
+// Fleet returns the shard fleet (nil outside the sharded configuration or
+// before the first Provision).
+func (s *NVMetro) Fleet() *shard.Fleet { return s.fl }
+
+// fleet lazily builds the shard fleet, one host thread per shard.
+func (s *NVMetro) fleet() *shard.Fleet {
+	if s.fl == nil {
+		var threads []*sim.Thread
+		for i := 0; i < s.Shards; i++ {
+			threads = append(threads, s.h.HostThread("shard"))
+		}
+		s.fl = shard.New(s.h.Env, s.h.Params.Router, threads)
+		s.fl.EnablePromotion()
+		if s.qosCfg != nil {
+			s.fl.EnableQoS(*s.qosCfg)
+		}
+	}
+	return s.fl
+}
+
 // Name implements Solution.
 func (s *NVMetro) Name() string { return s.name }
 
@@ -106,6 +140,9 @@ func (s *NVMetro) WithQoS(cfg qos.Config) *NVMetro {
 	s.qosCfg = &cfg
 	if s.shared != nil {
 		s.shared.EnableQoS(cfg)
+	}
+	if s.fl != nil {
+		s.fl.EnableQoS(cfg)
 	}
 	for _, vc := range s.byVM {
 		vc.Router().EnableQoS(cfg)
@@ -180,7 +217,12 @@ func (s *NVMetro) launchSupervised(vc *core.Controller, fw *uif.Framework, ring 
 
 // Provision implements Solution.
 func (s *NVMetro) Provision(v *vm.VM, part device.Partition) vm.Disk {
-	vc := s.router().Attach(v, part)
+	var vc *core.Controller
+	if s.Shards > 0 {
+		vc = s.fleet().Attach(v, part)
+	} else {
+		vc = s.router().Attach(v, part)
+	}
 	s.byVM[v] = vc
 	if s.setup != nil {
 		s.setup(vc)

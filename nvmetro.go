@@ -29,6 +29,7 @@ import (
 	"nvmetro/internal/integrity"
 	"nvmetro/internal/metrics"
 	"nvmetro/internal/qos"
+	"nvmetro/internal/shard"
 	"nvmetro/internal/sim"
 	"nvmetro/internal/stack"
 	"nvmetro/internal/storfn"
@@ -90,6 +91,12 @@ type (
 	// SharedNVMetro is the shared-worker NVMetro solution handle, used for
 	// multi-tenant setups (QoS arbitration, Fig. 5 scaling).
 	SharedNVMetro = stack.NVMetro
+	// ShardFleet is the per-core sharded dispatch fleet: per-shard tenant
+	// ownership, lock-free completion fan-in and adaptive path promotion.
+	ShardFleet = shard.Fleet
+	// ShardInfo is a point-in-time view of one shard's tenant assignment,
+	// promotion state and inbox depths.
+	ShardInfo = core.ShardInfo
 
 	// SupervisePolicy tunes the UIF watchdog and restart behaviour.
 	SupervisePolicy = supervise.Policy
@@ -463,6 +470,38 @@ func (s *System) NewNVMetroShared(workers int) *SharedNVMetro {
 func (s *System) AttachShared(sol *SharedNVMetro, v *VM, part Partition) *AttachedDisk {
 	disk := sol.Provision(v, part)
 	return &AttachedDisk{VM: v, Disk: disk, Ctrl: sol.ControllerFor(v)}
+}
+
+// NewNVMetroSharded creates the per-core sharded NVMetro solution: a fleet
+// of dispatch shards (one host thread each) with least-loaded tenant
+// placement and adaptive path promotion enabled. Provision disks with
+// AttachShared; inspect the fleet through the handle's Fleet method.
+func (s *System) NewNVMetroSharded(shards int) *SharedNVMetro {
+	return stack.NewNVMetroSharded(s.Host, shards)
+}
+
+// AddNamespace creates a fresh namespace of the given size (in device
+// blocks) on the device under test and returns a partition covering it.
+// Per-tenant whole namespaces are the sharded fleet's promotable layout:
+// they keep the default, statically-provable fast-path classifier.
+func (s *System) AddNamespace(blocks uint64) Partition {
+	dev := s.Host.Dev
+	nsid := dev.NextNSID()
+	dev.AddNamespace(nsid, blocks, device.NewStore(s.cfg.Backing, s.cfg.Params.Device.BlockSize()))
+	return device.WholeNamespace(dev, nsid)
+}
+
+// DefaultClassifier returns the always-fast-path classifier every NVMetro
+// controller boots with. Its verdict is statically provable, so tenants
+// running it are eligible for path promotion.
+func DefaultClassifier() *Program { return core.DefaultClassifier() }
+
+// PartitionClassifier returns the partition-confining classifier for part.
+// Its verdict depends on map state, so loading it demotes a promoted
+// tenant (the hot-swap fence).
+func PartitionClassifier(part Partition) *Program {
+	prog, _ := storfn.PartitionClassifier(part)
+	return prog
 }
 
 // BootProfile returns the read-mostly boot-storm workload: shared zipfian

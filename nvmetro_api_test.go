@@ -112,7 +112,7 @@ func TestPublicAPIClassifierTools(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	ids := nvmetro.Experiments()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("experiments: %v", ids)
 	}
 	var sb strings.Builder
